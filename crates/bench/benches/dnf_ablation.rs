@@ -1,0 +1,93 @@
+//! Ablation benches for the DNF solver design choices DESIGN.md calls out:
+//! k-conciseness, θ budget, and literal grouping.
+
+use autotype_dnf::{best_cover_complete, best_k_concise_cover, BitSet, CoverInput, CoverParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic but realistic cover input: `n_lits` literals over 20
+/// positives + 200 negatives, with one separating literal pair and lots of
+/// redundant/noisy literals (typical featurized traces).
+fn synthetic_input(n_lits: usize, seed: u64) -> CoverInput {
+    let n_pos = 20;
+    let n_neg = 200;
+    let universe = n_pos + n_neg;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coverage = Vec::with_capacity(n_lits);
+    for l in 0..n_lits {
+        let mut set = BitSet::new(universe);
+        match l {
+            // The separating pair.
+            0 => (0..n_pos).for_each(|e| set.insert(e)),
+            1 => (0..n_pos).chain(n_pos..n_pos + 10).for_each(|e| set.insert(e)),
+            // Redundant copies of literal 0 (grouping fodder).
+            2..=6 => (0..n_pos).for_each(|e| set.insert(e)),
+            // Noise.
+            _ => {
+                for e in 0..universe {
+                    if rng.gen_bool(0.3) {
+                        set.insert(e);
+                    }
+                }
+            }
+        }
+        coverage.push(set);
+    }
+    CoverInput {
+        n_pos,
+        n_neg,
+        coverage,
+    }
+}
+
+fn bench_k(c: &mut Criterion) {
+    let input = synthetic_input(120, 1);
+    let mut group = c.benchmark_group("dnf_k");
+    for k in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let params = CoverParams {
+                k,
+                ..CoverParams::default()
+            };
+            b.iter(|| std::hint::black_box(best_k_concise_cover(&input, &params)))
+        });
+    }
+    group.bench_function("complete", |b| {
+        b.iter(|| std::hint::black_box(best_cover_complete(&input, &CoverParams::default())))
+    });
+    group.finish();
+}
+
+fn bench_theta(c: &mut Criterion) {
+    let input = synthetic_input(120, 2);
+    let mut group = c.benchmark_group("dnf_theta");
+    for theta in [0.0, 0.1, 0.3, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{theta}")),
+            &theta,
+            |b, &theta| {
+                let params = CoverParams {
+                    theta,
+                    ..CoverParams::default()
+                };
+                b.iter(|| std::hint::black_box(best_k_concise_cover(&input, &params)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_literal_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dnf_literals");
+    for n_lits in [40usize, 120, 400] {
+        let input = synthetic_input(n_lits, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n_lits), &n_lits, |b, _| {
+            b.iter(|| std::hint::black_box(best_k_concise_cover(&input, &CoverParams::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_k, bench_theta, bench_literal_count);
+criterion_main!(benches);

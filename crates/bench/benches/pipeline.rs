@@ -1,0 +1,68 @@
+//! End-to-end pipeline benches: one per evaluation stage, so the cost
+//! structure behind Figure 14 (search → trace → rank) is measurable.
+
+use autotype::NegativeMode;
+use autotype_bench::{session_for, standard_engine};
+use autotype_rank::Method;
+use autotype_typesys::by_slug;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_retrieval(c: &mut Criterion) {
+    let engine = standard_engine();
+    c.bench_function("search/union_top_k_credit_card", |b| {
+        b.iter(|| std::hint::black_box(engine.retrieve("credit card")))
+    });
+}
+
+fn bench_session_build(c: &mut Criterion) {
+    let engine = standard_engine();
+    let ty = by_slug("creditcard").unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let positives = ty.examples(&mut rng, 20);
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    group.bench_function("build_trace_rank_creditcard", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut session = engine
+                .session("credit card", &positives, NegativeMode::Hierarchy, &mut rng)
+                .unwrap();
+            std::hint::black_box(session.rank(Method::DnfS))
+        })
+    });
+    group.finish();
+}
+
+fn bench_rank_methods(c: &mut Criterion) {
+    let engine = standard_engine();
+    let (mut session, _) = session_for(&engine, "creditcard", 20, 7);
+    let mut group = c.benchmark_group("rank_method");
+    for method in Method::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &method, |b, m| {
+            b.iter(|| std::hint::black_box(session.rank(*m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_validator_replay(c: &mut Criterion) {
+    let engine = standard_engine();
+    let (mut session, ty) = session_for(&engine, "isbn", 20, 9);
+    let top = session.rank(Method::DnfS).into_iter().next().unwrap();
+    let mut rng = StdRng::seed_from_u64(10);
+    let fresh = ty.examples(&mut rng, 1).pop().unwrap();
+    c.bench_function("validator/replay_isbn", |b| {
+        b.iter(|| std::hint::black_box(session.validate(&top, &fresh)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_retrieval,
+    bench_session_build,
+    bench_rank_methods,
+    bench_validator_replay
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Substrate benches: interpreter throughput, featurization, and
+//! negative-example generation — the per-run costs the end-to-end latency
+//! (Figure 14) is built from.
+
+use autotype_exec::featurize;
+use autotype_lang::{Interp, Program, Value};
+use autotype_negative::{generate_negatives, MutationConfig, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const LUHN_SRC: &str = r#"
+def luhn(s):
+    total = 0
+    flip = 0
+    i = len(s) - 1
+    while i >= 0:
+        d = int(s[i])
+        if flip % 2 == 1:
+            d = d * 2
+            if d > 9:
+                d = d - 9
+        total = total + d
+        flip = flip + 1
+        i = i - 1
+    return total % 10 == 0
+"#;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut program = Program::new();
+    program.add_file("card", LUHN_SRC).unwrap();
+    c.bench_function("interp/luhn_16_digits", |b| {
+        b.iter(|| {
+            let mut interp = Interp::new(&program);
+            std::hint::black_box(
+                interp
+                    .call_function(0, "luhn", vec![Value::str("4532015112830366")])
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_featurize(c: &mut Criterion) {
+    let mut program = Program::new();
+    program.add_file("card", LUHN_SRC).unwrap();
+    let mut interp = Interp::new(&program);
+    interp
+        .call_function(0, "luhn", vec![Value::str("4532015112830366")])
+        .unwrap();
+    let events = interp.reset_trace();
+    c.bench_function("featurize/luhn_trace", |b| {
+        b.iter(|| std::hint::black_box(featurize(&events)))
+    });
+}
+
+fn bench_negatives(c: &mut Criterion) {
+    let positives: Vec<String> = vec![
+        "4532015112830366".into(),
+        "4556737586899855".into(),
+        "371449635398431".into(),
+        "6011016011016011".into(),
+    ];
+    let mut group = c.benchmark_group("negatives");
+    for strategy in Strategy::HIERARCHY {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy}")),
+            &strategy,
+            |b, &s| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    std::hint::black_box(generate_negatives(
+                        &positives,
+                        s,
+                        &MutationConfig::default(),
+                        &mut rng,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter, bench_featurize, bench_negatives);
+criterion_main!(benches);

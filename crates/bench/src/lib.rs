@@ -1,0 +1,24 @@
+//! # autotype-bench — shared fixtures for benches and the `figures` binary.
+
+use autotype::{AutoType, AutoTypeConfig, NegativeMode, Session};
+use autotype_corpus::{build_corpus, CorpusConfig};
+use autotype_typesys::{by_slug, SemanticType};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build the standard engine over the default corpus.
+pub fn standard_engine() -> AutoType {
+    AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default())
+}
+
+/// A ready-made synthesis session for a type (panics if retrieval fails —
+/// only used for covered types).
+pub fn session_for<'a>(engine: &'a AutoType, slug: &str, n_pos: usize, seed: u64) -> (Session<'a>, &'static SemanticType) {
+    let ty = by_slug(slug).expect("known type");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positives = ty.examples(&mut rng, n_pos);
+    let session = engine
+        .session(ty.keyword(), &positives, NegativeMode::Hierarchy, &mut rng)
+        .expect("session");
+    (session, ty)
+}

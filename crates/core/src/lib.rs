@@ -1,0 +1,686 @@
+//! # autotype — program synthesis for type detection (SIGMOD 2018)
+//!
+//! The public facade of the reproduction: given a search keyword `N` and
+//! positive examples `P` for a target type `T`, [`AutoType::session`] runs
+//! the full pipeline of Definition 1 —
+//!
+//! 1. keyword search over the (synthetic) open-source universe, taking the
+//!    union of top-k repositories from two complementary engines (§4.1);
+//! 2. AST analysis for single-parameter candidate functions (§4.2);
+//! 3. negative-example generation by the S1→S2→S3 mutation hierarchy,
+//!    escalating until candidates separate `P` from `N` (Algorithm 2, §6);
+//! 4. instrumented execution of every candidate on `P ∪ N` with the
+//!    pip-install loop (§5.1);
+//! 5. ranking by Best-k-Concise-DNF-Cover, or any of the baseline methods
+//!    (§5.2, §8.1);
+//! 6. synthesis of an executable validator from the expanded DNF-E
+//!    (§5.3, Appendix G) plus semantic-transformation mining (§7.1).
+//!
+//! ```no_run
+//! use autotype::{AutoType, AutoTypeConfig, NegativeMode};
+//! use autotype_corpus::{build_corpus, CorpusConfig};
+//! use autotype_rank::Method;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let corpus = build_corpus(&CorpusConfig::default());
+//! let engine = AutoType::new(corpus, AutoTypeConfig::default());
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let positives: Vec<String> = vec!["4147202263232835".into(), "371449635398431".into()];
+//! let mut session = engine
+//!     .session("credit card", &positives, NegativeMode::Hierarchy, &mut rng)
+//!     .unwrap();
+//! let ranked = session.rank(Method::DnfS);
+//! println!("top function: {} — {}", ranked[0].label, ranked[0].explanation);
+//! ```
+
+use std::collections::BTreeSet;
+
+use autotype_corpus::{Corpus, Quality};
+use autotype_dnf::CoverParams;
+use autotype_exec::{
+    analyze_module, featurize, Candidate, EntryPoint, Executor, Literal, PackageIndex,
+};
+use autotype_lang::Program;
+use autotype_negative::{
+    generate_negatives, random_negatives, MutationConfig, Strategy,
+};
+use autotype_rank::{rank as rank_methods, FunctionTraces, Method, RankCandidate};
+use autotype_search::{union_top_k, Document, Field, SearchEngine};
+use autotype_synth::{
+    explain_cover, harvest_transformations, SynthesizedValidator, Transformation,
+};
+use rand::rngs::StdRng;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct AutoTypeConfig {
+    /// Repositories taken from each search engine before the union. The
+    /// paper uses 40 against all of GitHub; the default scales that to the
+    /// synthetic corpus (documented in DESIGN.md).
+    pub top_k_repos: usize,
+    /// Execution fuel per run (the deterministic 30-second watchdog).
+    pub fuel: u64,
+    /// DNF cover parameters (paper: k = 3, θ = 0.3).
+    pub cover: CoverParams,
+    /// Mutation configuration for negative generation.
+    pub mutation: MutationConfig,
+}
+
+impl Default for AutoTypeConfig {
+    fn default() -> Self {
+        AutoTypeConfig {
+            top_k_repos: 8,
+            fuel: 300_000,
+            cover: CoverParams::default(),
+            mutation: MutationConfig::default(),
+        }
+    }
+}
+
+/// How negative examples are produced (the Figure 10(c) ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegativeMode {
+    /// The paper's S1→S2→S3 mutation hierarchy (Algorithm 2).
+    Hierarchy,
+    /// Random strings only.
+    RandomOnly,
+    /// No negatives: rank by how many positives share the same path.
+    None,
+}
+
+/// A ranked, synthesized type-detection function.
+#[derive(Debug, Clone)]
+pub struct RankedFunction {
+    /// Repository id in the corpus.
+    pub repo: usize,
+    /// Module (file) name inside the repository.
+    pub file: String,
+    /// How the function is invoked.
+    pub entry: EntryPoint,
+    /// Display label `file.entry`.
+    pub label: String,
+    /// Positive coverage (primary ranking score).
+    pub score: f64,
+    /// Negative coverage (tie-breaker).
+    pub neg_fraction: f64,
+    /// The synthesized validator (None for KW/LR rankings).
+    pub validator: Option<SynthesizedValidator>,
+    /// Human-readable concise DNF.
+    pub explanation: String,
+    /// Ground-truth intent of the file (the human judge `I(F)`).
+    pub intent: Option<&'static str>,
+    /// Ground-truth quality label.
+    pub quality: Quality,
+}
+
+/// The engine: corpus + search indexes + package index.
+pub struct AutoType {
+    corpus: Corpus,
+    github: SearchEngine,
+    bing: SearchEngine,
+    packages: PackageIndex,
+    pub config: AutoTypeConfig,
+}
+
+/// One candidate discovered during a session.
+struct SessionCandidate {
+    repo: usize,
+    file: String,
+    candidate: Candidate,
+}
+
+/// A synthesis session: retrieved repositories, discovered candidates,
+/// their traces over `P ∪ N`, and everything needed to rank and replay.
+pub struct Session<'a> {
+    engine: &'a AutoType,
+    pub keyword: String,
+    pub positives: Vec<String>,
+    pub negatives: Vec<String>,
+    /// Which mutation strategy produced the accepted negatives.
+    pub strategy: Option<Strategy>,
+    candidates: Vec<SessionCandidate>,
+    traces: Vec<FunctionTraces>,
+    documents: Vec<String>,
+    executors: Vec<(usize, Executor)>,
+    /// Total fuel consumed by all runs (the Figure 14 cost measure).
+    pub fuel_spent: u64,
+    /// pip-install rounds that were needed.
+    pub installs: usize,
+}
+
+impl AutoType {
+    pub fn new(corpus: Corpus, config: AutoTypeConfig) -> AutoType {
+        let documents: Vec<Document> = corpus
+            .repositories
+            .iter()
+            .map(|r| Document {
+                id: r.id,
+                fields: vec![
+                    (Field::Name, r.name.clone()),
+                    (Field::Description, r.description.clone()),
+                    (Field::Readme, r.readme.clone()),
+                    (Field::Code, r.code_text()),
+                ],
+            })
+            .collect();
+        let github = SearchEngine::github(&documents);
+        let bing = SearchEngine::bing(&documents);
+        let mut packages = PackageIndex::new();
+        for (name, source) in &corpus.packages {
+            packages.insert(name, source);
+        }
+        AutoType {
+            corpus,
+            github,
+            bing,
+            packages,
+            config,
+        }
+    }
+
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Keyword retrieval: union of top-k from both engines (§4.1).
+    pub fn retrieve(&self, keyword: &str) -> Vec<usize> {
+        union_top_k(&[&self.github, &self.bing], keyword, self.config.top_k_repos)
+    }
+
+    /// Build a synthesis session for a target type.
+    ///
+    /// Returns `None` when retrieval produced no candidate functions at
+    /// all (nothing to rank — the "no relevant code" outcome).
+    pub fn session(
+        &self,
+        keyword: &str,
+        positives: &[String],
+        negative_mode: NegativeMode,
+        rng: &mut StdRng,
+    ) -> Option<Session<'_>> {
+        let repos = self.retrieve(keyword);
+        let mut candidates = Vec::new();
+        let mut executors: Vec<(usize, Executor)> = Vec::new();
+        let mut documents = Vec::new();
+        let mut installs = 0;
+
+        for &repo_id in &repos {
+            let repo = self.corpus.repository(repo_id);
+            let Ok(program) = repo.program() else {
+                continue; // uncompilable repository
+            };
+            let exec = Executor::new(program, &self.packages, self.config.fuel);
+            installs += exec.installs;
+            let exec_idx = executors.len();
+            executors.push((repo_id, exec));
+            let program: &Program = executors[exec_idx].1.program();
+            for (file_idx, file) in program.files.iter().enumerate() {
+                // Only the repository's own files are analyzed, not
+                // installed packages.
+                if repo.files.iter().all(|f| f.name != file.name) {
+                    continue;
+                }
+                let (cands, _) = analyze_module(file_idx as u32, &file.module);
+                let source_text = repo
+                    .files
+                    .iter()
+                    .find(|f| f.name == file.name)
+                    .map(|f| f.source.clone())
+                    .unwrap_or_default();
+                for candidate in cands {
+                    documents.push(format!(
+                        "{} {} {} {} {}",
+                        repo.name,
+                        repo.description,
+                        file.name,
+                        candidate.entry.label(),
+                        source_text,
+                    ));
+                    candidates.push(SessionCandidate {
+                        repo: repo_id,
+                        file: file.name.clone(),
+                        candidate,
+                    });
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+
+        let mut session = Session {
+            engine: self,
+            keyword: keyword.to_string(),
+            positives: positives.to_vec(),
+            negatives: Vec::new(),
+            strategy: None,
+            candidates,
+            traces: Vec::new(),
+            documents,
+            executors,
+            fuel_spent: 0,
+            installs,
+        };
+        session.generate_and_trace(negative_mode, rng);
+        Some(session)
+    }
+}
+
+impl<'a> Session<'a> {
+    /// Run Algorithm 2: try mutation strategies in hierarchy order until
+    /// some candidate separates P from N, then keep those traces.
+    fn generate_and_trace(&mut self, mode: NegativeMode, rng: &mut StdRng) {
+        let pos_traces = self.run_all(&self.positives.clone());
+        match mode {
+            NegativeMode::None => {
+                self.traces = pos_traces
+                    .into_iter()
+                    .map(|(pos, pos_bb)| FunctionTraces {
+                        pos,
+                        pos_bb,
+                        ..Default::default()
+                    })
+                    .collect();
+            }
+            NegativeMode::RandomOnly => {
+                let per_pos = self.engine.config.mutation.per_positive;
+                let negatives = random_negatives(self.positives.len() * per_pos, rng);
+                let neg_traces = self.run_all(&negatives);
+                self.negatives = negatives;
+                self.traces = pos_traces
+                    .into_iter()
+                    .zip(neg_traces)
+                    .map(|((pos, pos_bb), (neg, neg_bb))| FunctionTraces {
+                        pos,
+                        neg,
+                        pos_bb,
+                        neg_bb,
+                    })
+                    .collect();
+            }
+            NegativeMode::Hierarchy => {
+                for strategy in Strategy::HIERARCHY {
+                    let negatives = generate_negatives(
+                        &self.positives,
+                        strategy,
+                        &self.engine.config.mutation,
+                        rng,
+                    );
+                    let neg_traces = self.run_all(&negatives);
+                    let traces: Vec<FunctionTraces> = pos_traces
+                        .iter()
+                        .cloned()
+                        .zip(neg_traces)
+                        .map(|((pos, pos_bb), (neg, neg_bb))| FunctionTraces {
+                            pos,
+                            neg,
+                            pos_bb,
+                            neg_bb,
+                        })
+                        .collect();
+                    // R ≠ ∅ check: does any candidate separate?
+                    let separable = traces.iter().any(|t| {
+                        let (input, _) = t.cover_input();
+                        autotype_dnf::best_k_concise_cover(&input, &self.engine.config.cover)
+                            .is_some_and(|c| {
+                                c.pos_fraction() >= 0.95 && c.neg_fraction() <= 0.4
+                            })
+                    });
+                    self.negatives = negatives;
+                    self.traces = traces;
+                    if separable {
+                        self.strategy = Some(strategy);
+                        return;
+                    }
+                }
+                // All strategies exhausted: keep S3's traces, no strategy
+                // marked as accepted.
+                self.strategy = None;
+            }
+        }
+    }
+
+    /// Execute every candidate on every input; returns per-candidate
+    /// (full trace set, black-box trace set) pairs aligned with
+    /// `self.candidates`. The black-box view records only the summarized
+    /// final result (or escaping exception) — the RET baseline's input.
+    #[allow(clippy::type_complexity)]
+    fn run_all(
+        &mut self,
+        inputs: &[String],
+    ) -> Vec<(Vec<BTreeSet<Literal>>, Vec<BTreeSet<Literal>>)> {
+        let mut out: Vec<(Vec<BTreeSet<Literal>>, Vec<BTreeSet<Literal>>)> =
+            vec![(Vec::new(), Vec::new()); self.candidates.len()];
+        for (ci, sc) in self.candidates.iter().enumerate() {
+            let exec = self
+                .executors
+                .iter_mut()
+                .find(|(repo, _)| *repo == sc.repo)
+                .map(|(_, e)| e)
+                .expect("executor for repository");
+            for input in inputs {
+                let outcome = exec.run(&sc.candidate, input, &self.engine.packages);
+                self.fuel_spent += outcome.fuel_used;
+                self.installs = self.installs.max(exec.installs);
+                let mut bb = BTreeSet::new();
+                match &outcome.result {
+                    Ok(value) => {
+                        bb.insert(Literal::Ret {
+                            site: autotype_lang::SiteId::new(u32::MAX, 0),
+                            value: autotype_lang::ValueSummary::of(value),
+                        });
+                    }
+                    Err(e) => {
+                        bb.insert(Literal::Exception {
+                            kind: e.kind.clone(),
+                        });
+                    }
+                }
+                out[ci].0.push(featurize(&outcome.trace));
+                out[ci].1.push(bb);
+            }
+        }
+        out
+    }
+
+    /// Number of discovered candidate functions.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Rank candidates with a method and synthesize validators.
+    pub fn rank(&mut self, method: Method) -> Vec<RankedFunction> {
+        // The no-negatives ablation: rank by the largest group of positives
+        // sharing an identical trace.
+        if self.negatives.is_empty() {
+            return self.rank_without_negatives();
+        }
+        let rank_inputs: Vec<RankCandidate> = self
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(id, _)| RankCandidate {
+                id,
+                traces: self.traces[id].clone(),
+                document: self.documents[id].clone(),
+            })
+            .collect();
+        let ranked = rank_methods(method, &rank_inputs, &self.keyword, &self.engine.config.cover);
+        ranked
+            .into_iter()
+            .map(|r| {
+                let sc = &self.candidates[r.id];
+                let repo = self.engine.corpus.repository(sc.repo);
+                let validator = r
+                    .dnf
+                    .as_ref()
+                    .map(|cover| SynthesizedValidator::from_cover(cover, &r.literals));
+                let explanation = r
+                    .dnf
+                    .as_ref()
+                    .map(|cover| explain_cover(cover, &r.literals))
+                    .unwrap_or_default();
+                RankedFunction {
+                    repo: sc.repo,
+                    file: sc.file.clone(),
+                    entry: sc.candidate.entry.clone(),
+                    label: format!("{}/{}.{}", repo.name, sc.file, sc.candidate.entry.label()),
+                    score: r.score,
+                    neg_fraction: r.neg_fraction,
+                    validator,
+                    explanation,
+                    intent: repo.intent_of(&sc.file),
+                    quality: repo.quality_of(&sc.file).unwrap_or(Quality::Unrelated),
+                }
+            })
+            .collect()
+    }
+
+    fn rank_without_negatives(&self) -> Vec<RankedFunction> {
+        let mut scored: Vec<(usize, f64)> = self
+            .traces
+            .iter()
+            .enumerate()
+            .map(|(id, t)| {
+                let mut counts: std::collections::HashMap<&BTreeSet<Literal>, usize> =
+                    std::collections::HashMap::new();
+                for trace in &t.pos {
+                    *counts.entry(trace).or_default() += 1;
+                }
+                let max_share = counts.values().copied().max().unwrap_or(0);
+                (id, max_share as f64 / t.pos.len().max(1) as f64)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored
+            .into_iter()
+            .map(|(id, score)| {
+                let sc = &self.candidates[id];
+                let repo = self.engine.corpus.repository(sc.repo);
+                RankedFunction {
+                    repo: sc.repo,
+                    file: sc.file.clone(),
+                    entry: sc.candidate.entry.clone(),
+                    label: format!("{}/{}.{}", repo.name, sc.file, sc.candidate.entry.label()),
+                    score,
+                    neg_fraction: 0.0,
+                    validator: None,
+                    explanation: String::new(),
+                    intent: repo.intent_of(&sc.file),
+                    quality: repo.quality_of(&sc.file).unwrap_or(Quality::Unrelated),
+                }
+            })
+            .collect()
+    }
+
+    /// Execute a ranked function's synthesized validator on a fresh input
+    /// (Algorithm 3: run, trace, check `∧T(s) → DNF-E`).
+    pub fn validate(&mut self, function: &RankedFunction, input: &str) -> bool {
+        let Some(validator) = &function.validator else {
+            return false;
+        };
+        let Some(sc_idx) = self.candidates.iter().position(|sc| {
+            sc.repo == function.repo
+                && sc.file == function.file
+                && sc.candidate.entry == function.entry
+        }) else {
+            return false;
+        };
+        let sc_repo = self.candidates[sc_idx].repo;
+        let candidate = self.candidates[sc_idx].candidate.clone();
+        let exec = self
+            .executors
+            .iter_mut()
+            .find(|(repo, _)| *repo == sc_repo)
+            .map(|(_, e)| e)
+            .expect("executor");
+        let outcome = exec.run(&candidate, input, &self.engine.packages);
+        self.fuel_spent += outcome.fuel_used;
+        let mut trace = featurize(&outcome.trace);
+        // Reconstruct the synthetic black-box literal so validators
+        // synthesized from the RET baseline's view evaluate correctly.
+        match &outcome.result {
+            Ok(value) => {
+                trace.insert(Literal::Ret {
+                    site: autotype_lang::SiteId::new(u32::MAX, 0),
+                    value: autotype_lang::ValueSummary::of(value),
+                });
+            }
+            Err(e) => {
+                trace.insert(Literal::Exception {
+                    kind: e.kind.clone(),
+                });
+            }
+        }
+        validator.accepts(&trace)
+    }
+
+    /// Run a ranked function directly and report whether it *accepted* the
+    /// input (completed without an exception and did not return `False`) —
+    /// the acceptance notion used to unit-test functions that were ranked
+    /// without a synthesized DNF (the KW/LR baselines).
+    pub fn executes_ok(&mut self, function: &RankedFunction, input: &str) -> bool {
+        let Some(sc_idx) = self.candidates.iter().position(|sc| {
+            sc.repo == function.repo
+                && sc.file == function.file
+                && sc.candidate.entry == function.entry
+        }) else {
+            return false;
+        };
+        let sc_repo = self.candidates[sc_idx].repo;
+        let candidate = self.candidates[sc_idx].candidate.clone();
+        let exec = self
+            .executors
+            .iter_mut()
+            .find(|(repo, _)| *repo == sc_repo)
+            .map(|(_, e)| e)
+            .expect("executor");
+        let outcome = exec.run(&candidate, input, &self.engine.packages);
+        self.fuel_spent += outcome.fuel_used;
+        match &outcome.result {
+            Ok(autotype_lang::Value::Bool(false)) => false,
+            Ok(_) => true,
+            Err(_) => false,
+        }
+    }
+
+    /// Mine semantic transformations from a ranked function over the
+    /// session's positive examples (§7.1).
+    pub fn transformations(&mut self, function: &RankedFunction) -> Vec<Transformation> {
+        let Some(sc_idx) = self.candidates.iter().position(|sc| {
+            sc.repo == function.repo
+                && sc.file == function.file
+                && sc.candidate.entry == function.entry
+        }) else {
+            return Vec::new();
+        };
+        let sc_repo = self.candidates[sc_idx].repo;
+        let candidate = self.candidates[sc_idx].candidate.clone();
+        let positives = self.positives.clone();
+        let exec = self
+            .executors
+            .iter_mut()
+            .find(|(repo, _)| *repo == sc_repo)
+            .map(|(_, e)| e)
+            .expect("executor");
+        let harvests: Vec<Vec<(String, String)>> = positives
+            .iter()
+            .map(|p| {
+                let outcome = exec.run(&candidate, p, &self.engine.packages);
+                self.fuel_spent += outcome.fuel_used;
+                outcome.harvest
+            })
+            .collect();
+        harvest_transformations(&harvests, 0.5, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotype_corpus::{build_corpus, CorpusConfig};
+    use autotype_typesys::by_slug;
+    use rand::SeedableRng;
+
+    fn engine() -> AutoType {
+        AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default())
+    }
+
+    fn positives(slug: &str, n: usize, seed: u64) -> Vec<String> {
+        let ty = by_slug(slug).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        ty.examples(&mut rng, n)
+    }
+
+    #[test]
+    fn credit_card_pipeline_end_to_end() {
+        let engine = engine();
+        let mut rng = StdRng::seed_from_u64(42);
+        let pos = positives("creditcard", 20, 1);
+        let mut session = engine
+            .session("credit card", &pos, NegativeMode::Hierarchy, &mut rng)
+            .expect("session");
+        // Checksum types separate already at S1 (§6).
+        assert_eq!(session.strategy, Some(Strategy::S1));
+        let ranked = session.rank(Method::DnfS);
+        assert!(!ranked.is_empty());
+        let top = &ranked[0];
+        assert_eq!(top.intent, Some("creditcard"), "top-1 must be relevant: {}", top.label);
+        assert!(top.score > 0.9, "top-1 score {}", top.score);
+        // The synthesized validator detects fresh positives and rejects
+        // corrupted ones.
+        let fresh = positives("creditcard", 5, 77);
+        for card in &fresh {
+            assert!(session.validate(&top.clone(), card), "rejects {card}");
+        }
+        assert!(!session.validate(&top.clone(), "4147202263232836"));
+        assert!(!session.validate(&top.clone(), "not a card"));
+    }
+
+    #[test]
+    fn ipv6_escalates_to_s2() {
+        // Example 6 of the paper: S1 keeps IPv6 valid; S2 breaks the colon
+        // structure and is the accepted strategy.
+        let engine = engine();
+        let mut rng = StdRng::seed_from_u64(11);
+        let pos = positives("ipv6", 20, 2);
+        let mut session = engine
+            .session("IPv6", &pos, NegativeMode::Hierarchy, &mut rng)
+            .expect("session");
+        assert_eq!(session.strategy, Some(Strategy::S2));
+        let ranked = session.rank(Method::DnfS);
+        assert_eq!(ranked[0].intent, Some("ipv6"), "{}", ranked[0].label);
+    }
+
+    #[test]
+    fn transformations_include_card_brand() {
+        let engine = engine();
+        let mut rng = StdRng::seed_from_u64(4);
+        // Visa + Mastercard + Amex mix so the brand column has entropy.
+        let pos = positives("creditcard", 20, 3);
+        let mut session = engine
+            .session("credit card", &pos, NegativeMode::Hierarchy, &mut rng)
+            .unwrap();
+        let ranked = session.rank(Method::DnfS);
+        let class_fn = ranked
+            .iter()
+            .find(|f| f.label.contains("CreditCard"))
+            .cloned();
+        if let Some(f) = class_fn {
+            let transforms = session.transformations(&f);
+            assert!(
+                transforms.iter().any(|t| t.name.contains("card_brand")),
+                "harvested: {:?}",
+                transforms.iter().map(|t| &t.name).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn keyword_retrieval_finds_type_repositories() {
+        let engine = engine();
+        let repos = engine.retrieve("ISBN");
+        assert!(repos
+            .iter()
+            .any(|&r| engine.corpus.repository(r).name.starts_with("isbn")));
+    }
+
+    #[test]
+    fn no_code_types_yield_no_relevant_functions() {
+        let engine = engine();
+        let mut rng = StdRng::seed_from_u64(8);
+        let pos = positives("lcc", 10, 5);
+        // Retrieval may hit distractor repos; ranking must not produce a
+        // relevant (intent-matching) top function.
+        if let Some(mut session) =
+            engine.session("Library of Congress Classification", &pos, NegativeMode::Hierarchy, &mut rng)
+        {
+            let ranked = session.rank(Method::DnfS);
+            assert!(ranked.iter().all(|f| f.intent != Some("lcc")));
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Remaining small emitters: prefix/charset validators, colors, grid
+//! coordinates, tickers, and other format types.
+
+/// `prefix` followed by `min..=max` digits.
+pub fn prefix_digits_validator(
+    func: &str,
+    prefix: &str,
+    min: usize,
+    max: usize,
+    comment: &str,
+) -> String {
+    format!(
+        r#"# {comment}
+def {func}(s):
+    if s[:{plen}] != '{prefix}':
+        return False
+    digits = s[{plen}:]
+    if len(digits) < {min} or len(digits) > {max}:
+        return False
+    if digits[0] == '0':
+        return False
+    for c in digits:
+        if not c.isdigit():
+            return False
+    return True
+"#,
+        plen = prefix.len()
+    )
+}
+
+/// Stock ticker: 1-5 uppercase letters, optional 1-2 letter exchange suffix.
+pub fn ticker_validator(func: &str) -> String {
+    format!(
+        r#"# validate stock ticker symbols
+def {func}(s):
+    symbol = s
+    dot = s.find('.')
+    if dot >= 0:
+        symbol = s[:dot]
+        suffix = s[dot + 1:]
+        if len(suffix) < 1 or len(suffix) > 2:
+            return False
+        for c in suffix:
+            if not c.isalpha() or not c.isupper():
+                return False
+    if len(symbol) < 1 or len(symbol) > 5:
+        return False
+    for c in symbol:
+        if not c.isalpha():
+            return False
+        if not c.isupper():
+            return False
+    return True
+"#
+    )
+}
+
+/// Bitcoin address: base58 charset, 26-35 chars, prefix 1 or 3.
+pub fn bitcoin_validator(func: &str) -> String {
+    format!(
+        r#"# validate bitcoin wallet addresses (base58, legacy prefixes)
+BASE58 = '123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz'
+
+def {func}(s):
+    if len(s) < 26 or len(s) > 35:
+        return False
+    if s[0] != '1' and s[0] != '3':
+        return False
+    for c in s:
+        if c not in BASE58:
+            return False
+    return True
+"#
+    )
+}
+
+/// MSISDN: 10-15 digits starting with a known country calling code.
+pub fn msisdn_validator(func: &str) -> String {
+    format!(
+        r#"# validate MSISDN mobile subscriber numbers
+PREFIXES = ['1', '7', '20', '27', '30', '31', '33', '34', '39', '40', '41', '44', '46', '47', '48', '49', '52', '55', '61', '62', '63', '64', '65', '66', '81', '82', '86', '90', '91']
+
+def {func}(s):
+    if len(s) < 10 or len(s) > 15:
+        return False
+    for c in s:
+        if not c.isdigit():
+            return False
+    for p in PREFIXES:
+        if s[:len(p)] == p:
+            return True
+    return False
+"#
+    )
+}
+
+/// RGB color: `rgb(r, g, b)` or bare `r,g,b` with components 0-255.
+pub fn rgb_validator(func: &str) -> String {
+    format!(
+        r#"# parse rgb color triples
+def {func}(s):
+    t = s.strip()
+    if t[:4] == 'rgb(':
+        if t[len(t) - 1] != ')':
+            raise ValueError('unclosed rgb()')
+        t = t[4:len(t) - 1]
+    parts = t.split(',')
+    if len(parts) != 3:
+        raise ValueError('need three components')
+    values = []
+    for p in parts:
+        q = p.strip()
+        if len(q) == 0 or len(q) > 3:
+            raise ValueError('bad component')
+        for c in q:
+            if not c.isdigit():
+                raise ValueError('component must be digits')
+        v = int(q)
+        if v > 255:
+            raise ValueError('component over 255')
+        values.append(v)
+    info = {{}}
+    info['red'] = values[0]
+    info['green'] = values[1]
+    info['blue'] = values[2]
+    info['hex'] = 'computed'
+    return info
+"#
+    )
+}
+
+/// Percent-tuple colors: `cmyk(..%, ..%, ..%, ..%)` / `hsl(h, s%, l%)`.
+pub fn percent_color_validator(func: &str, prefix: &str, parts: usize, first_is_plain: bool, first_max: u32) -> String {
+    let first_check = if first_is_plain {
+        format!(
+            r#"    q = items[0].strip()
+    for c in q:
+        if not c.isdigit():
+            return False
+    if int(q) > {first_max}:
+        return False
+    start = 1
+"#
+        )
+    } else {
+        "    start = 0\n".to_string()
+    };
+    format!(
+        r#"# parse {prefix} color values
+def {func}(s):
+    t = s.strip()
+    if t[:{plen_plus}] != '{prefix}(':
+        return False
+    if t[len(t) - 1] != ')':
+        return False
+    inner = t[{plen_plus}:len(t) - 1]
+    items = inner.split(',')
+    if len(items) != {parts}:
+        return False
+{first_check}    i = start
+    while i < {parts}:
+        q = items[i].strip()
+        if len(q) < 2 or q[len(q) - 1] != '%':
+            return False
+        num = q[:len(q) - 1]
+        for c in num:
+            if not c.isdigit():
+                return False
+        if int(num) > 100:
+            return False
+        i += 1
+    return True
+"#,
+        plen_plus = prefix.len() + 1,
+    )
+}
+
+/// MGRS / USNG grid reference validator (`spaced` allows the USNG form).
+pub fn mgrs_validator(func: &str, spaced: bool) -> String {
+    let strip = if spaced {
+        "    t = s.replace(' ', '')\n"
+    } else {
+        "    t = s\n"
+    };
+    format!(
+        r#"# validate military grid reference system coordinates
+def {func}(s):
+{strip}    if len(t) < 5:
+        return False
+    zone_len = 0
+    if t[0].isdigit():
+        zone_len = 1
+        if len(t) > 1 and t[1].isdigit():
+            zone_len = 2
+    else:
+        return False
+    zone = int(t[:zone_len])
+    if zone < 1 or zone > 60:
+        return False
+    rest = t[zone_len:]
+    if len(rest) < 3:
+        return False
+    if rest[0] not in 'CDEFGHJKLMNPQRSTUVWX':
+        return False
+    if not rest[1].isalpha() or not rest[1].isupper():
+        return False
+    if not rest[2].isalpha() or not rest[2].isupper():
+        return False
+    digits = rest[3:]
+    if len(digits) == 0 or len(digits) > 10:
+        return False
+    if len(digits) % 2 != 0:
+        return False
+    for c in digits:
+        if not c.isdigit():
+            return False
+    return True
+"#
+    )
+}
+
+/// UTM coordinate validator (`17T 630084 4833438`).
+pub fn utm_validator(func: &str) -> String {
+    format!(
+        r#"# validate UTM universal transverse mercator coordinates
+def {func}(s):
+    parts = s.split()
+    if len(parts) != 3:
+        return False
+    zb = parts[0]
+    if len(zb) < 2 or len(zb) > 3:
+        return False
+    band = zb[len(zb) - 1]
+    if band not in 'CDEFGHJKLMNPQRSTUVWX':
+        return False
+    zone_digits = zb[:len(zb) - 1]
+    for c in zone_digits:
+        if not c.isdigit():
+            return False
+    zone = int(zone_digits)
+    if zone < 1 or zone > 60:
+        return False
+    easting = parts[1]
+    if len(easting) < 5 or len(easting) > 7:
+        return False
+    for c in easting:
+        if not c.isdigit():
+            return False
+    northing = parts[2]
+    if len(northing) < 6 or len(northing) > 8:
+        return False
+    for c in northing:
+        if not c.isdigit():
+            return False
+    return True
+"#
+    )
+}
+
+/// SSN validator with the forbidden-range rules.
+pub fn ssn_validator(func: &str) -> String {
+    format!(
+        r#"# validate US social security numbers
+def {func}(s):
+    parts = s.split('-')
+    if len(parts) != 3:
+        return False
+    if len(parts[0]) != 3 or len(parts[1]) != 2 or len(parts[2]) != 4:
+        return False
+    for p in parts:
+        for c in p:
+            if not c.isdigit():
+                return False
+    area = int(parts[0])
+    if area == 0 or area == 666 or area >= 900:
+        return False
+    if int(parts[1]) == 0:
+        return False
+    if int(parts[2]) == 0:
+        return False
+    return True
+"#
+    )
+}
+
+/// EIN validator with a valid-prefix table.
+pub fn ein_validator(func: &str) -> String {
+    format!(
+        r#"# validate employer identification numbers
+BAD_PREFIXES = ['00', '07', '08', '09', '17', '18', '19', '28', '29', '49', '69', '70', '78', '79', '89', '96', '97']
+
+def {func}(s):
+    parts = s.split('-')
+    if len(parts) != 2:
+        return False
+    if len(parts[0]) != 2 or len(parts[1]) != 7:
+        return False
+    for p in parts:
+        for c in p:
+            if not c.isdigit():
+                return False
+    if parts[0] in BAD_PREFIXES:
+        return False
+    return True
+"#
+    )
+}

@@ -1,0 +1,889 @@
+//! PyLite source emitters: the "code that developers wrote" which the
+//! corpus plants into synthetic repositories.
+//!
+//! Templates are parameterized by names/comments so repeated instantiations
+//! look like independent GitHub projects, and by *quality* knobs (length
+//! checks, prefix checks) so the corpus contains the sloppy variants the
+//! paper observes in the wild (§9.2).
+
+/// The shared pattern/helper package, installable from the simulated pip
+/// index as `relib`.
+pub fn relib_source() -> &'static str {
+    r#"def all_digits(s):
+    if len(s) == 0:
+        return False
+    for c in s:
+        if not c.isdigit():
+            return False
+    return True
+
+def all_hex(s):
+    if len(s) == 0:
+        return False
+    for c in s:
+        if c not in '0123456789abcdefABCDEF':
+            return False
+    return True
+
+def match_shape(s, shape):
+    if len(s) != len(shape):
+        return False
+    i = 0
+    while i < len(s):
+        c = s[i]
+        k = shape[i]
+        if k == 'd':
+            if not c.isdigit():
+                return False
+        elif k == 'h':
+            if c not in '0123456789abcdefABCDEF':
+                return False
+        elif k == 'u':
+            if not c.isalpha():
+                return False
+            if not c.isupper():
+                return False
+        elif k == 'w':
+            if not c.isalpha():
+                return False
+            if not c.islower():
+                return False
+        elif k == 'a':
+            if not c.isalpha():
+                return False
+        elif k == 'n':
+            if not c.isalnum():
+                return False
+        elif k == '*':
+            pass
+        else:
+            if c != k:
+                return False
+        i += 1
+    return True
+
+def match_any(s, shapes):
+    for p in shapes:
+        if match_shape(s, p):
+            return True
+    return False
+
+def int_between(s, lo, hi):
+    v = int(s)
+    if v < lo:
+        return False
+    if v > hi:
+        return False
+    return True
+
+def parts_in_range(s, sep, n, lo, hi):
+    parts = s.split(sep)
+    if len(parts) != n:
+        return False
+    for p in parts:
+        if not all_digits(p):
+            return False
+        v = int(p)
+        if v < lo:
+            return False
+        if v > hi:
+            return False
+    return True
+
+def strip_chars(s, chars):
+    out = ''
+    for c in s:
+        if c not in chars:
+            out = out + c
+    return out
+"#
+}
+
+/// Shared checksum package (`checklib` in the pip index).
+pub fn checklib_source() -> &'static str {
+    r#"def luhn_sum(s):
+    total = 0
+    flip = 0
+    i = len(s) - 1
+    while i >= 0:
+        d = int(s[i])
+        if flip % 2 == 1:
+            d = d * 2
+            if d > 9:
+                d = d - 9
+        total = total + d
+        flip = flip + 1
+        i = i - 1
+    return total
+
+def luhn_ok(s):
+    return luhn_sum(s) % 10 == 0
+
+def gs1_check(s):
+    total = 0
+    flip = 0
+    i = len(s) - 2
+    while i >= 0:
+        d = int(s[i])
+        if flip % 2 == 0:
+            total = total + d * 3
+        else:
+            total = total + d
+        flip = flip + 1
+        i = i - 1
+    return (10 - total % 10) % 10
+
+def gs1_ok(s):
+    if len(s) < 2:
+        return False
+    return gs1_check(s) == int(s[len(s) - 1])
+
+def mod97(s):
+    rem = 0
+    for c in s:
+        if c.isdigit():
+            rem = (rem * 10 + int(c)) % 97
+        else:
+            v = ord(c.upper()) - 55
+            if v < 10:
+                raise ValueError('bad character')
+            if v > 35:
+                raise ValueError('bad character')
+            rem = (rem * 100 + v) % 97
+    return rem
+"#
+}
+
+/// Inline Luhn body reused by several emitters.
+fn luhn_body() -> &'static str {
+    r#"def luhn_total(s):
+    total = 0
+    flip = 0
+    i = len(s) - 1
+    while i >= 0:
+        d = int(s[i])
+        if flip % 2 == 1:
+            d = d * 2
+            if d > 9:
+                d = d - 9
+        total = total + d
+        flip = flip + 1
+        i = i - 1
+    return total
+"#
+}
+
+/// Credit-card validator mirroring the paper's Listing 1: brand detection
+/// from the prefix, then a Luhn checksum. `check_brand` / `check_length`
+/// are the quality knobs.
+pub fn creditcard_validator(func: &str, check_brand: bool, check_length: bool) -> String {
+    let mut src = String::from("# validate credit card numbers using the luhn checksum\n");
+    src.push_str(luhn_body());
+    src.push('\n');
+    src.push_str(&format!("def {func}(s):\n"));
+    src.push_str("    num = s.replace(' ', '')\n    num = num.replace('-', '')\n");
+    if check_length {
+        src.push_str(
+            "    if len(num) < 13:\n        return False\n    if len(num) > 16:\n        return False\n",
+        );
+    }
+    src.push_str("    for c in num:\n        if not c.isdigit():\n            return False\n");
+    if check_brand {
+        src.push_str(
+            r#"    prefix = int(num[:4])
+    brand = None
+    # visa starts with 4
+    if prefix / 1000 == 4:
+        brand = 'Visa'
+    # mastercard starts with 51-55
+    elif prefix / 100 >= 51 and prefix / 100 <= 55:
+        brand = 'Mastercard'
+    elif prefix / 100 == 34 or prefix / 100 == 37:
+        brand = 'Amex'
+    elif prefix == 6011:
+        brand = 'Discover'
+    elif prefix / 100 == 65:
+        brand = 'Discover'
+    if brand == None:
+        return False
+"#,
+        );
+    }
+    src.push_str("    return luhn_total(num) % 10 == 0\n");
+    src
+}
+
+/// A Listing-1-style class that parses a card number into brand and issuer
+/// information — the re-purposed parser the paper's Figure 6 harvests
+/// transformations from.
+pub fn creditcard_class() -> String {
+    r#"# parse credit card numbers: brand, issuer bank prefix, checksum
+def luhn_total(s):
+    total = 0
+    flip = 0
+    i = len(s) - 1
+    while i >= 0:
+        d = int(s[i])
+        if flip % 2 == 1:
+            d = d * 2
+            if d > 9:
+                d = d - 9
+        total = total + d
+        flip = flip + 1
+        i = i - 1
+    return total
+
+class CreditCard:
+    def __init__(self, s):
+        self.raw = s
+        self.card_brand = None
+        self.issuer_prefix = None
+        self.cardnumber = None
+    def read_from_number(self):
+        num = self.raw.replace(' ', '')
+        num = num.replace('-', '')
+        prefix = int(num[:4])
+        if prefix / 1000 == 4:
+            self.card_brand = 'Visa'
+        elif prefix / 100 >= 51 and prefix / 100 <= 55:
+            self.card_brand = 'Mastercard'
+        elif prefix / 100 == 34 or prefix / 100 == 37:
+            self.card_brand = 'Amex'
+        elif prefix == 6011:
+            self.card_brand = 'Discover'
+        else:
+            raise ValueError('unknown card brand')
+        self.issuer_prefix = num[:6]
+        if luhn_total(num) % 10 == 0:
+            self.cardnumber = num
+        else:
+            raise ValueError('checksum failed')
+        return self
+"#
+    .to_string()
+}
+
+/// Luhn-with-fixed-length validator (IMEI = 15, UIC wagon = 12). `strip`
+/// removes separators first.
+pub fn luhn_fixed_len(func: &str, len: usize, comment: &str) -> String {
+    format!(
+        "# {comment}\n{luhn}\ndef {func}(s):\n    num = s.replace(' ', '')\n    num = num.replace('-', '')\n    if len(num) != {len}:\n        return False\n    for c in num:\n        if not c.isdigit():\n            return False\n    return luhn_total(num) % 10 == 0\n",
+        luhn = luhn_body()
+    )
+}
+
+/// GS1 checksum validator. `lens` = accepted lengths (empty = no length
+/// check, the sloppy variant of §9.2); `prefix` = required digit prefix.
+pub fn gs1_validator(func: &str, lens: &[usize], prefix: Option<&str>, comment: &str) -> String {
+    let mut src = format!("# {comment}\n");
+    src.push_str(
+        r#"def gs1_check_digit(s):
+    total = 0
+    flip = 0
+    i = len(s) - 2
+    while i >= 0:
+        d = int(s[i])
+        if flip % 2 == 0:
+            total = total + d * 3
+        else:
+            total = total + d
+        flip = flip + 1
+        i = i - 1
+    return (10 - total % 10) % 10
+"#,
+    );
+    src.push('\n');
+    src.push_str(&format!("def {func}(s):\n"));
+    src.push_str("    num = s.replace('-', '')\n    num = num.replace(' ', '')\n");
+    src.push_str("    if len(num) < 2:\n        return False\n");
+    src.push_str("    for c in num:\n        if not c.isdigit():\n            return False\n");
+    if !lens.is_empty() {
+        let cond = lens
+            .iter()
+            .map(|l| format!("len(num) != {l}"))
+            .collect::<Vec<_>>()
+            .join(" and ");
+        src.push_str(&format!("    if {cond}:\n        return False\n"));
+    }
+    if let Some(p) = prefix {
+        src.push_str(&format!(
+            "    if num[:{}] != '{p}':\n        return False\n",
+            p.len()
+        ));
+    }
+    src.push_str("    return gs1_check_digit(num) == int(num[len(num) - 1])\n");
+    src
+}
+
+/// Combined ISBN-10/ISBN-13 validator, the robust dash-stripping function
+/// §9.2 contrasts against the REGEX baseline.
+pub fn isbn_validator(func: &str) -> String {
+    format!(
+        r#"# validate ISBN international standard book numbers (10 or 13 digits)
+def {func}(s):
+    num = s.replace('-', '')
+    num = num.replace(' ', '')
+    if num[:4] == 'ISBN':
+        num = num[4:]
+    if len(num) == 13:
+        if num[:3] != '978' and num[:3] != '979':
+            return False
+        total = 0
+        flip = 0
+        i = 11
+        while i >= 0:
+            d = int(num[i])
+            if flip % 2 == 0:
+                total = total + d * 3
+            else:
+                total = total + d
+            flip = flip + 1
+            i = i - 1
+        return (10 - total % 10) % 10 == int(num[12])
+    elif len(num) == 10:
+        total = 0
+        i = 0
+        while i < 10:
+            c = num[i]
+            if c == 'X' or c == 'x':
+                if i != 9:
+                    return False
+                v = 10
+            else:
+                v = int(c)
+            total = total + (i + 1) * v
+            i = i + 1
+        return total % 11 == 0
+    return False
+"#
+    )
+}
+
+/// ISBN parser that decodes prefix / registration group (language area) —
+/// a transformation source for Table 3.
+pub fn isbn_parser() -> String {
+    r#"# parse ISBN-13 into prefix, language group and check digit
+def parse_isbn(s):
+    num = s.replace('-', '')
+    if len(num) != 13:
+        raise ValueError('need isbn13')
+    for c in num:
+        if not c.isdigit():
+            raise ValueError('digits only')
+    total = 0
+    flip = 0
+    i = 11
+    while i >= 0:
+        d = int(num[i])
+        if flip % 2 == 0:
+            total = total + d * 3
+        else:
+            total = total + d
+        flip = flip + 1
+        i = i - 1
+    if (10 - total % 10) % 10 != int(num[12]):
+        raise ValueError('bad check digit')
+    groups = {'0': 'English', '1': 'English', '2': 'French', '3': 'German', '4': 'Japanese', '5': 'Russian', '7': 'Chinese'}
+    info = {}
+    info['ean_prefix'] = num[:3]
+    info['group'] = num[3]
+    lang = groups.get(num[3])
+    if lang == None:
+        lang = 'Other'
+    info['language'] = lang
+    info['check_digit'] = num[12]
+    return info
+"#
+    .to_string()
+}
+
+/// ISSN validator (weights 8..2 mod 11, X check character).
+pub fn issn_validator(func: &str) -> String {
+    format!(
+        r#"# validate ISSN serial numbers
+def {func}(s):
+    num = s.replace('-', '')
+    if len(num) != 8:
+        return False
+    total = 0
+    i = 0
+    while i < 7:
+        if not num[i].isdigit():
+            return False
+        total = total + (8 - i) * int(num[i])
+        i = i + 1
+    c = num[7]
+    if c == 'X' or c == 'x':
+        check = 10
+    elif c.isdigit():
+        check = int(c)
+    else:
+        return False
+    return (total + check) % 11 == 0
+"#
+    )
+}
+
+/// IBAN validator (rotate + mod 97), decoding the country for Table 3.
+pub fn iban_validator(func: &str, parse: bool) -> String {
+    let countries = "{'DE': 'Germany', 'FR': 'France', 'GB': 'United Kingdom', 'ES': 'Spain', 'IT': 'Italy', 'NL': 'Netherlands', 'CH': 'Switzerland', 'AT': 'Austria'}";
+    let mut src = String::from("# validate IBAN international bank account numbers (mod 97)\n");
+    src.push_str(&format!("countries = {countries}\n\n"));
+    src.push_str(&format!("def {func}(s):\n"));
+    src.push_str(
+        r#"    num = s.replace(' ', '')
+    if len(num) < 15:
+        raise ValueError('too short')
+    if len(num) > 34:
+        raise ValueError('too long')
+    country = num[:2]
+    if not country.isalpha():
+        raise ValueError('country code')
+    if not country.isupper():
+        raise ValueError('country code case')
+    rotated = num[4:] + num[:4]
+    rem = 0
+    for c in rotated:
+        if c.isdigit():
+            rem = (rem * 10 + int(c)) % 97
+        else:
+            v = ord(c.upper()) - 55
+            if v < 10:
+                raise ValueError('bad char')
+            if v > 35:
+                raise ValueError('bad char')
+            rem = (rem * 100 + v) % 97
+    if rem != 1:
+        raise ValueError('mod97 failed')
+"#,
+    );
+    if parse {
+        src.push_str(
+            r#"    info = {}
+    info['country_code'] = country
+    name = countries.get(country)
+    if name == None:
+        name = 'Unknown'
+    info['country'] = name
+    info['check_digits'] = num[2:4]
+    return info
+"#,
+        );
+    } else {
+        src.push_str("    return True\n");
+    }
+    src
+}
+
+/// LEI validator (plain mod 97 == 1 over 20 alphanumerics).
+pub fn lei_validator(func: &str) -> String {
+    format!(
+        r#"# validate LEI legal entity identifiers (ISO 17442)
+def {func}(s):
+    if len(s) != 20:
+        return False
+    rem = 0
+    for c in s:
+        if c.isdigit():
+            rem = (rem * 10 + int(c)) % 97
+        elif c.isalpha() and c.isupper():
+            v = ord(c) - 55
+            rem = (rem * 100 + v) % 97
+        else:
+            return False
+    return rem == 1
+"#
+    )
+}
+
+/// ISIN validator (letter expansion + Luhn).
+pub fn isin_validator(func: &str) -> String {
+    format!(
+        r#"# validate ISIN securities identifiers (Luhn over expanded digits)
+def {func}(s):
+    if len(s) != 12:
+        return False
+    if not s[0].isalpha() or not s[1].isalpha():
+        return False
+    if not s[0].isupper() or not s[1].isupper():
+        return False
+    expanded = ''
+    for c in s:
+        if c.isdigit():
+            expanded = expanded + c
+        elif c.isupper():
+            expanded = expanded + str(ord(c) - 55)
+        else:
+            return False
+    total = 0
+    flip = 0
+    i = len(expanded) - 1
+    while i >= 0:
+        d = int(expanded[i])
+        if flip % 2 == 1:
+            d = d * 2
+            if d > 9:
+                d = d - 9
+        total = total + d
+        flip = flip + 1
+        i = i - 1
+    return total % 10 == 0
+"#
+    )
+}
+
+/// CUSIP validator.
+pub fn cusip_validator(func: &str) -> String {
+    format!(
+        r#"# validate CUSIP securities numbers
+def {func}(s):
+    if len(s) != 9:
+        return False
+    total = 0
+    i = 0
+    while i < 8:
+        c = s[i]
+        if c.isdigit():
+            v = int(c)
+        elif c.isalpha():
+            v = ord(c.upper()) - 55
+        elif c == '*':
+            v = 36
+        elif c == '@':
+            v = 37
+        elif c == '#':
+            v = 38
+        else:
+            return False
+        if i % 2 == 1:
+            v = v * 2
+        total = total + v / 10 + v % 10
+        i = i + 1
+    if not s[8].isdigit():
+        return False
+    return (10 - total % 10) % 10 == int(s[8])
+"#
+    )
+}
+
+/// SEDOL validator.
+pub fn sedol_validator(func: &str) -> String {
+    format!(
+        r#"# validate SEDOL stock exchange daily official list codes
+def {func}(s):
+    if len(s) != 7:
+        return False
+    weights = [1, 3, 1, 7, 3, 9, 1]
+    total = 0
+    i = 0
+    while i < 7:
+        c = s[i]
+        if c.isdigit():
+            v = int(c)
+        elif c.isalpha() and c.isupper():
+            if c in 'AEIOU':
+                return False
+            v = ord(c) - 55
+        else:
+            return False
+        total = total + weights[i] * v
+        i = i + 1
+    if not s[6].isdigit():
+        return False
+    return total % 10 == 0
+"#
+    )
+}
+
+/// ABA routing-number validator (3-7-1 weights).
+pub fn aba_validator(func: &str) -> String {
+    format!(
+        r#"# validate ABA bank routing transit numbers
+def {func}(s):
+    if len(s) != 9:
+        return False
+    for c in s:
+        if not c.isdigit():
+            return False
+    d = []
+    for c in s:
+        d.append(int(c))
+    total = 3 * (d[0] + d[3] + d[6]) + 7 * (d[1] + d[4] + d[7]) + (d[2] + d[5] + d[8])
+    return total % 10 == 0
+"#
+    )
+}
+
+/// VIN validator with transliteration; optionally decodes WMI / year for
+/// transformations.
+pub fn vin_validator(func: &str, parse: bool) -> String {
+    let mut src = String::from(
+        r#"# validate vehicle identification numbers (ISO 3779)
+translit = {'A': 1, 'B': 2, 'C': 3, 'D': 4, 'E': 5, 'F': 6, 'G': 7, 'H': 8, 'J': 1, 'K': 2, 'L': 3, 'M': 4, 'N': 5, 'P': 7, 'R': 9, 'S': 2, 'T': 3, 'U': 4, 'V': 5, 'W': 6, 'X': 7, 'Y': 8, 'Z': 9}
+regions = {'1': 'North America', '2': 'North America', '3': 'North America', '4': 'North America', '5': 'North America', 'J': 'Asia', 'K': 'Asia', 'L': 'Asia', 'S': 'Europe', 'W': 'Europe', 'Z': 'Europe'}
+"#,
+    );
+    src.push_str(&format!("\ndef {func}(s):\n"));
+    src.push_str(
+        r#"    if len(s) != 17:
+        raise ValueError('vin must be 17 characters')
+    weights = [8, 7, 6, 5, 4, 3, 2, 10, 0, 9, 8, 7, 6, 5, 4, 3, 2]
+    total = 0
+    i = 0
+    while i < 17:
+        c = s[i]
+        if c.isdigit():
+            v = int(c)
+        else:
+            u = c.upper()
+            if u not in translit:
+                raise ValueError('illegal vin character')
+            v = translit[u]
+        total = total + weights[i] * v
+        i = i + 1
+    r = total % 11
+    if r == 10:
+        expected = 'X'
+    else:
+        expected = str(r)
+    if s[8] != expected:
+        raise ValueError('check digit mismatch')
+"#,
+    );
+    if parse {
+        src.push_str(
+            r#"    info = {}
+    info['wmi'] = s[:3]
+    info['serial'] = s[11:]
+    region = regions.get(s[0])
+    if region == None:
+        region = 'Other'
+    info['region'] = region
+    info['year_code'] = s[9]
+    return info
+"#,
+        );
+    } else {
+        src.push_str("    return True\n");
+    }
+    src
+}
+
+/// IMO ship-number validator.
+pub fn imo_validator(func: &str) -> String {
+    format!(
+        r#"# validate IMO international maritime organization ship numbers
+def {func}(s):
+    num = s
+    if num[:4] == 'IMO ':
+        num = num[4:]
+    elif num[:3] == 'IMO':
+        num = num[3:]
+    num = num.strip()
+    if len(num) != 7:
+        return False
+    for c in num:
+        if not c.isdigit():
+            return False
+    total = 0
+    i = 0
+    while i < 6:
+        total = total + int(num[i]) * (7 - i)
+        i = i + 1
+    return total % 10 == int(num[6])
+"#
+    )
+}
+
+/// NHS number validator.
+pub fn nhs_validator(func: &str) -> String {
+    format!(
+        r#"# validate UK NHS numbers (mod 11)
+def {func}(s):
+    num = s.replace(' ', '')
+    if len(num) != 10:
+        return False
+    for c in num:
+        if not c.isdigit():
+            return False
+    total = 0
+    i = 0
+    while i < 9:
+        total = total + int(num[i]) * (10 - i)
+        i = i + 1
+    check = 11 - total % 11
+    if check == 11:
+        check = 0
+    if check == 10:
+        return False
+    return check == int(num[9])
+"#
+    )
+}
+
+/// DEA registration-number validator.
+pub fn dea_validator(func: &str) -> String {
+    format!(
+        r#"# validate DEA registration numbers
+def {func}(s):
+    if len(s) != 9:
+        return False
+    if s[0] not in 'ABFGMPRX':
+        return False
+    if not s[1].isalpha():
+        return False
+    if not s[1].isupper():
+        return False
+    digits = s[2:]
+    for c in digits:
+        if not c.isdigit():
+            return False
+    total = int(digits[0]) + int(digits[2]) + int(digits[4])
+    total = total + 2 * (int(digits[1]) + int(digits[3]) + int(digits[5]))
+    return total % 10 == int(digits[6])
+"#
+    )
+}
+
+/// CAS registry-number validator.
+pub fn cas_validator(func: &str) -> String {
+    format!(
+        r#"# validate CAS chemical registry numbers
+def {func}(s):
+    parts = s.split('-')
+    if len(parts) != 3:
+        return False
+    a = parts[0]
+    b = parts[1]
+    c = parts[2]
+    if len(a) < 2 or len(a) > 7:
+        return False
+    if len(b) != 2 or len(c) != 1:
+        return False
+    digits = a + b
+    for ch in digits:
+        if not ch.isdigit():
+            return False
+    if not c.isdigit():
+        return False
+    total = 0
+    i = len(digits) - 1
+    w = 1
+    while i >= 0:
+        total = total + w * int(digits[i])
+        w = w + 1
+        i = i - 1
+    return total % 10 == int(c)
+"#
+    )
+}
+
+/// ORCID validator (ISO 7064 mod 11-2 over 4x4 dash groups).
+pub fn orcid_validator(func: &str) -> String {
+    format!(
+        r#"# validate ORCID researcher identifiers (mod 11-2)
+def {func}(s):
+    parts = s.split('-')
+    if len(parts) != 4:
+        return False
+    for p in parts:
+        if len(p) != 4:
+            return False
+    compact = parts[0] + parts[1] + parts[2] + parts[3]
+    total = 0
+    i = 0
+    while i < 15:
+        if not compact[i].isdigit():
+            return False
+        total = (total + int(compact[i])) * 2
+        i = i + 1
+    remainder = total % 11
+    result = (12 - remainder) % 11
+    if result == 10:
+        expected = 'X'
+    else:
+        expected = str(result)
+    return compact[15] == expected
+"#
+    )
+}
+
+/// Chinese resident-ID validator with birth-date decoding.
+pub fn chinaid_validator(func: &str) -> String {
+    format!(
+        r#"# validate chinese resident identity numbers (GB 11643)
+def {func}(s):
+    if len(s) != 18:
+        raise ValueError('must be 18 characters')
+    weights = [7, 9, 10, 5, 8, 4, 2, 1, 6, 3, 7, 9, 10, 5, 8, 4, 2]
+    checkmap = '10X98765432'
+    total = 0
+    i = 0
+    while i < 17:
+        if not s[i].isdigit():
+            raise ValueError('digits expected')
+        total = total + int(s[i]) * weights[i]
+        i = i + 1
+    expected = checkmap[total % 11]
+    last = s[17].upper()
+    if last != expected:
+        raise ValueError('check char mismatch')
+    year = int(s[6:10])
+    month = int(s[10:12])
+    day = int(s[12:14])
+    if year < 1900 or year > 2024:
+        raise ValueError('year out of range')
+    if month < 1 or month > 12:
+        raise ValueError('month out of range')
+    if day < 1 or day > 31:
+        raise ValueError('day out of range')
+    info = {{}}
+    info['region'] = s[:6]
+    info['birth_year'] = year
+    info['birth_month'] = month
+    return info
+"#
+    )
+}
+
+/// NMEA 0183 sentence validator (XOR checksum).
+pub fn nmea_validator(func: &str) -> String {
+    format!(
+        r#"# validate NMEA 0183 GPS sentences (XOR checksum)
+def {func}(s):
+    if len(s) < 9:
+        return False
+    if s[0] != '$':
+        return False
+    star = s.find('*')
+    if star < 0:
+        return False
+    payload = s[1:star]
+    given = s[star + 1:]
+    if len(given) != 2:
+        return False
+    total = 0
+    for c in payload:
+        v = ord(c)
+        x = 0
+        bit = 128
+        a = total
+        b = v
+        while bit >= 1:
+            abit = 0
+            bbit = 0
+            if a >= bit:
+                abit = 1
+                a = a - bit
+            if b >= bit:
+                bbit = 1
+                b = b - bit
+            if abit != bbit:
+                x = x + bit
+            bit = bit / 2
+        total = x
+    expected = int(given, 16)
+    return total == expected
+"#
+    )
+}

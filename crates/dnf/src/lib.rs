@@ -1,0 +1,21 @@
+//! # autotype-dnf — Best-k-Concise-DNF-Cover
+//!
+//! The ranking core of AutoType (§5.2 of the paper): given featurized
+//! execution traces of a candidate function over positive examples `P` and
+//! generated negatives `N`, find a disjunctive-normal-form formula over
+//! trace literals that covers as much of `P` as possible while covering at
+//! most `θ|N|` negatives, with each conjunction limited to `k` literals
+//! (Definition 4). The problem is NP-hard (Theorem 4); [`cover`] implements
+//! the paper's greedy Algorithm 1 plus the unconstrained DNF-C variant.
+//!
+//! This crate is substrate-free: literals are opaque ids and coverage is
+//! bitsets, so the solver is reusable and easy to property-test.
+
+pub mod bitset;
+pub mod cover;
+
+pub use bitset::BitSet;
+pub use cover::{
+    best_cover_complete, best_k_concise_cover, group_literals, Conjunction, CoverInput,
+    CoverParams, DnfCover, LitId,
+};

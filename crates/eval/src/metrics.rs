@@ -1,0 +1,95 @@
+//! IR metrics of §8.1: precision@K, NDCG, and pooled relative recall.
+
+/// Precision@K over graded relevance scores (`rel(F) = I(F)·Q(F)`): the
+/// mean relevance of the top-K items (a relevance of 1.0 is a perfectly
+/// relevant function). Lists shorter than K are padded with zeros, so a
+/// method that returns nothing is penalized.
+pub fn precision_at_k(relevances: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let sum: f64 = relevances.iter().take(k).sum();
+    sum / k as f64
+}
+
+/// DCG@p with the paper's formulation `Σ rel_i / log2(i + 1)` (1-based i).
+pub fn dcg(relevances: &[f64], p: usize) -> f64 {
+    relevances
+        .iter()
+        .take(p)
+        .enumerate()
+        .map(|(i, rel)| rel / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// NDCG@p: DCG normalized by the ideal ordering's DCG.
+pub fn ndcg(relevances: &[f64], p: usize) -> f64 {
+    let mut ideal = relevances.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let idcg = dcg(&ideal, p);
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg(relevances, p) / idcg
+    }
+}
+
+/// Pooled relative recall (§8.1): `#relevant in this method's top-k`
+/// divided by `#relevant in the union pool across all methods`.
+pub fn relative_recall(relevant_found: usize, pool_size: usize) -> f64 {
+    if pool_size == 0 {
+        0.0
+    } else {
+        relevant_found as f64 / pool_size as f64
+    }
+}
+
+/// Simple mean helper.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_at_k_basics() {
+        let rel = [1.0, 0.0, 1.0];
+        assert_eq!(precision_at_k(&rel, 1), 1.0);
+        assert_eq!(precision_at_k(&rel, 2), 0.5);
+        assert!((precision_at_k(&rel, 3) - 2.0 / 3.0).abs() < 1e-12);
+        // Short lists are penalized.
+        assert_eq!(precision_at_k(&rel, 6), 2.0 / 6.0);
+    }
+
+    #[test]
+    fn ndcg_is_one_for_ideal_ordering() {
+        let rel = [1.0, 0.8, 0.5, 0.0];
+        assert!((ndcg(&rel, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_penalizes_inversions() {
+        let ideal = [1.0, 0.0];
+        let inverted = [0.0, 1.0];
+        assert!(ndcg(&inverted, 2) < ndcg(&ideal, 2));
+        assert!(ndcg(&inverted, 2) > 0.0);
+    }
+
+    #[test]
+    fn ndcg_empty_is_zero() {
+        assert_eq!(ndcg(&[], 5), 0.0);
+        assert_eq!(ndcg(&[0.0, 0.0], 2), 0.0);
+    }
+
+    #[test]
+    fn relative_recall_bounds() {
+        assert_eq!(relative_recall(3, 4), 0.75);
+        assert_eq!(relative_recall(0, 0), 0.0);
+    }
+}

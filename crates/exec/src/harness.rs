@@ -1,0 +1,517 @@
+//! Traced execution of candidate functions, including the
+//! execute-parse-install-rerun dependency loop of §4.2.
+
+use std::collections::BTreeMap;
+
+use autotype_lang::ast::{Expr, Stmt, Target};
+use autotype_lang::interp::{Interp, Io, Program};
+use autotype_lang::trace::TraceEvent;
+use autotype_lang::value::Value;
+use autotype_lang::PyError;
+
+use crate::analyze::{Candidate, EntryPoint};
+
+/// The simulated package index (`pip`): importable module name → PyLite
+/// source. Missing imports raise `ImportError`; the harness parses the
+/// message and "installs" the package, exactly like AutoType's loop over
+/// `requirements.txt` and exception messages.
+#[derive(Debug, Clone, Default)]
+pub struct PackageIndex {
+    packages: BTreeMap<String, String>,
+}
+
+impl PackageIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, name: &str, source: &str) {
+        self.packages.insert(name.to_string(), source.to_string());
+    }
+
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.packages.get(name).map(|s| s.as_str())
+    }
+}
+
+/// Result of one traced run of a candidate on one input.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Branch / return / exception events from the run.
+    pub trace: Vec<TraceEvent>,
+    /// The top-level result (error kind if the run failed).
+    pub result: Result<Value, PyError>,
+    /// Deterministic execution cost (stand-in for wall-clock).
+    pub fuel_used: u64,
+    /// Number of install-loop iterations that were needed.
+    pub installs: usize,
+    /// Harvested intermediate values (name → rendered atomic value) for
+    /// semantic-transformation mining (§7.1, Appendix B).
+    pub harvest: Vec<(String, String)>,
+}
+
+impl RunOutcome {
+    /// Whether the run completed without an uncaught exception.
+    pub fn completed(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// Executes candidates against a repository program.
+pub struct Executor {
+    /// The repository program, with statically-resolvable dependencies
+    /// already installed.
+    program: Program,
+    fuel: u64,
+    pub installs: usize,
+}
+
+/// Maximum dynamic install-loop iterations ("this process may loop for
+/// multiple times, each time with a different exception").
+const MAX_INSTALL_ROUNDS: usize = 6;
+
+impl Executor {
+    /// Build an executor for a repository: resolves `import` statements
+    /// against the package index up front (the `requirements.txt` path),
+    /// leaving the dynamic loop for imports only discoverable at run time.
+    pub fn new(mut program: Program, packages: &PackageIndex, fuel: u64) -> Executor {
+        let mut installs = 0;
+        // Transitively install statically-visible imports.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let wanted: Vec<String> = program
+                .files
+                .iter()
+                .flat_map(|f| f.module.imports().into_iter().map(|s| s.to_string()))
+                .collect();
+            for module in wanted {
+                if module != "sys" && program.file_id(&module).is_none() {
+                    if let Some(source) = packages.get(&module) {
+                        if program.add_file(&module, source).is_ok() {
+                            installs += 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        Executor {
+            program,
+            fuel,
+            installs,
+        }
+    }
+
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Run a candidate on one input string, tracing the execution. Applies
+    /// the dynamic install loop when an `ImportError` names a package that
+    /// exists in the index.
+    pub fn run(&mut self, candidate: &Candidate, input: &str, packages: &PackageIndex) -> RunOutcome {
+        for round in 0..MAX_INSTALL_ROUNDS {
+            let outcome = self.run_once(candidate, input, round);
+            if let Err(e) = &outcome.result {
+                if e.kind == "ImportError" {
+                    if let Some(module) = e.message.strip_prefix("No module named ") {
+                        let module = module.trim().to_string();
+                        if self.program.file_id(&module).is_none() {
+                            if let Some(source) = packages.get(&module) {
+                                if self.program.add_file(&module, source).is_ok() {
+                                    self.installs += 1;
+                                    continue; // rerun with the new package
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            return outcome;
+        }
+        self.run_once(candidate, input, MAX_INSTALL_ROUNDS)
+    }
+
+    fn run_once(&self, candidate: &Candidate, input: &str, installs: usize) -> RunOutcome {
+        let file = candidate.file;
+        let mut io = Io::default();
+        // Pre-populate implicit-parameter channels for variants 4-6.
+        io.argv = vec![input.to_string()];
+        io.stdin = Some(input.to_string());
+        for name in open_targets(&self.program, file) {
+            io.files.insert(name, input.to_string());
+        }
+
+        // Variant 7 rewrites the module before execution.
+        let rewritten;
+        let program = if let EntryPoint::ScriptConstant { variable } = &candidate.entry {
+            rewritten = rewrite_script_constant(&self.program, file, variable, input);
+            &rewritten
+        } else {
+            &self.program
+        };
+
+        let mut interp = Interp::with_options(program, io, self.fuel);
+        let result = match &candidate.entry {
+            EntryPoint::Function { name }
+            | EntryPoint::ArgvFunction { name }
+            | EntryPoint::StdinFunction { name }
+            | EntryPoint::FileFunction { name, .. } => {
+                let args = match &candidate.entry {
+                    EntryPoint::Function { .. } => vec![Value::str(input)],
+                    _ => vec![],
+                };
+                interp.call_function(file, name, args)
+            }
+            EntryPoint::MethodWithParam { class, method } => interp
+                .get_global(file, class)
+                .and_then(|c| interp.call(c, vec![]))
+                .and_then(|obj| interp.invoke_method(obj, method, vec![Value::str(input)])),
+            EntryPoint::CtorThenMethod { class, method } => interp
+                .get_global(file, class)
+                .and_then(|c| interp.call(c, vec![Value::str(input)]))
+                .and_then(|obj| interp.invoke_method(obj, method, vec![])),
+            EntryPoint::ScriptConstant { .. } => {
+                interp.run_script(file).map(|_| Value::None)
+            }
+        };
+
+        let mut harvest = Vec::new();
+        match (&candidate.entry, &result) {
+            (EntryPoint::ScriptConstant { .. }, Ok(_)) => {
+                // Harvest module globals.
+                if let Ok(globals) = interp.load_module(file) {
+                    for (name, value) in globals.borrow().attrs.iter() {
+                        harvest_value(name, value, &mut harvest);
+                    }
+                }
+            }
+            (_, Ok(value)) => {
+                harvest_value("return", value, &mut harvest);
+            }
+            _ => {}
+        }
+        // For method variants, also harvest instance attributes via a
+        // second instrumented run would be wasteful; instead the object is
+        // still reachable when the method returned `self` or stored state.
+        if let (EntryPoint::CtorThenMethod { class, .. }, Ok(_)) = (&candidate.entry, &result) {
+            let _ = class;
+        }
+
+        let trace = interp.reset_trace();
+        let fuel_used = interp.fuel_used();
+        RunOutcome {
+            trace,
+            result,
+            fuel_used,
+            installs,
+            harvest,
+        }
+    }
+}
+
+/// Harvest atomic values (and one level of composite decomposition) from a
+/// runtime value, per Appendix B.
+pub fn harvest_value(name: &str, value: &Value, out: &mut Vec<(String, String)>) {
+    match value {
+        Value::Str(_) | Value::Int(_) | Value::Float(_) | Value::Bool(_) => {
+            out.push((name.to_string(), value.display()));
+        }
+        Value::List(items) => {
+            for (i, item) in items.borrow().iter().enumerate().take(8) {
+                if matches!(
+                    item,
+                    Value::Str(_) | Value::Int(_) | Value::Float(_) | Value::Bool(_)
+                ) {
+                    out.push((format!("{name}[{i}]"), item.display()));
+                }
+            }
+        }
+        Value::Dict(map) => {
+            for (k, v) in map.borrow().iter() {
+                if matches!(
+                    v,
+                    Value::Str(_) | Value::Int(_) | Value::Float(_) | Value::Bool(_)
+                ) {
+                    out.push((format!("{name}.{k}"), v.display()));
+                }
+            }
+        }
+        Value::Object(o) => {
+            for (k, v) in o.borrow().attrs.iter() {
+                if matches!(
+                    v,
+                    Value::Str(_) | Value::Int(_) | Value::Float(_) | Value::Bool(_)
+                ) {
+                    out.push((format!("{name}.{k}"), v.display()));
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// String literals passed to `open(...)` anywhere in a file — the virtual
+/// files the harness must fill with the input (variant 6).
+fn open_targets(program: &Program, file: u32) -> Vec<String> {
+    let mut names = Vec::new();
+    let module = &program.file(file).module;
+    collect_open_targets(&module.body, &mut names);
+    names
+}
+
+fn collect_open_targets(body: &[Stmt], names: &mut Vec<String>) {
+    fn walk_expr(e: &Expr, names: &mut Vec<String>) {
+        if let Expr::Call { callee, args, .. } = e {
+            if matches!(callee.as_ref(), Expr::Name(n) if n == "open") {
+                if let Some(Expr::Str(path)) = args.first() {
+                    if !names.contains(path) {
+                        names.push(path.clone());
+                    }
+                }
+            }
+            for a in args {
+                walk_expr(a, names);
+            }
+            walk_expr(callee, names);
+        }
+    }
+    fn walk(s: &Stmt, names: &mut Vec<String>) {
+        match s {
+            Stmt::Expr(e) | Stmt::Assign { value: e, .. } | Stmt::AugAssign { value: e, .. } => {
+                walk_expr(e, names)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk_expr(cond, names);
+                then_body.iter().for_each(|s| walk(s, names));
+                else_body.iter().for_each(|s| walk(s, names));
+            }
+            Stmt::While { cond, body, .. } => {
+                walk_expr(cond, names);
+                body.iter().for_each(|s| walk(s, names));
+            }
+            Stmt::For { iter, body, .. } => {
+                walk_expr(iter, names);
+                body.iter().for_each(|s| walk(s, names));
+            }
+            Stmt::Return { value: Some(v), .. } => walk_expr(v, names),
+            Stmt::Try { body, handlers, .. } => {
+                body.iter().for_each(|s| walk(s, names));
+                for h in handlers {
+                    h.body.iter().for_each(|s| walk(s, names));
+                }
+            }
+            Stmt::FuncDef(f) => f.body.iter().for_each(|s| walk(s, names)),
+            Stmt::ClassDef(c) => c
+                .methods
+                .iter()
+                .for_each(|m| m.body.iter().for_each(|s| walk(s, names))),
+            _ => {}
+        }
+    }
+    body.iter().for_each(|s| walk(s, names));
+}
+
+/// Replace the first module-level string-constant assignment to `variable`
+/// with the given input (Appendix D.1, Listing 3).
+fn rewrite_script_constant(program: &Program, file: u32, variable: &str, input: &str) -> Program {
+    let mut rewritten = program.clone();
+    let module = &mut rewritten.files[file as usize].module;
+    for stmt in &mut module.body {
+        if let Stmt::Assign {
+            target: Target::Name(name),
+            value: value @ Expr::Str(_),
+            ..
+        } = stmt
+        {
+            if name == variable {
+                *value = Expr::Str(input.to_string());
+                break;
+            }
+        }
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze_module;
+
+    fn program_with(src: &str) -> Program {
+        let mut p = Program::new();
+        p.add_file("snippet", src).unwrap();
+        p
+    }
+
+    fn first_candidate(program: &Program) -> Candidate {
+        let (cands, _) = analyze_module(0, &program.file(0).module);
+        cands.into_iter().next().expect("candidate")
+    }
+
+    const FUEL: u64 = 100_000;
+
+    #[test]
+    fn runs_plain_function_candidate() {
+        let program = program_with("def f(s):\n    if len(s) > 3:\n        return True\n    return False\n");
+        let cand = first_candidate(&program);
+        let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
+        let out = exec.run(&cand, "abcdef", &PackageIndex::new());
+        assert!(out.completed());
+        assert!(!out.trace.is_empty());
+        assert_eq!(out.harvest, vec![("return".to_string(), "True".to_string())]);
+    }
+
+    #[test]
+    fn runs_class_ctor_then_method() {
+        let src = r#"
+class Card:
+    def __init__(self, s):
+        self.num = s
+        self.brand = None
+    def parse(self):
+        if self.num[0] == '4':
+            self.brand = 'Visa'
+        return self
+"#;
+        let program = program_with(src);
+        let cand = first_candidate(&program);
+        assert!(matches!(cand.entry, EntryPoint::CtorThenMethod { .. }));
+        let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
+        let out = exec.run(&cand, "4111111111111111", &PackageIndex::new());
+        assert!(out.completed());
+        // The returned `self` exposes brand for transformation harvesting.
+        assert!(out
+            .harvest
+            .iter()
+            .any(|(k, v)| k == "return.brand" && v == "Visa"));
+    }
+
+    #[test]
+    fn runs_argv_and_stdin_variants() {
+        let argv_src = "import sys\n\ndef main():\n    s = sys.argv[0]\n    return len(s)\n";
+        let program = program_with(argv_src);
+        let cand = first_candidate(&program);
+        let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
+        let out = exec.run(&cand, "hello", &PackageIndex::new());
+        assert!(out.completed());
+        assert!(out.harvest.iter().any(|(_, v)| v == "5"));
+
+        let stdin_src = "def main():\n    s = input()\n    return s.upper()\n";
+        let program = program_with(stdin_src);
+        let cand = first_candidate(&program);
+        let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
+        let out = exec.run(&cand, "abc", &PackageIndex::new());
+        assert!(out.harvest.iter().any(|(_, v)| v == "ABC"));
+    }
+
+    #[test]
+    fn runs_file_variant_with_virtual_fs() {
+        let src = "def main():\n    fp = open('data.txt')\n    s = fp.read()\n    return len(s)\n";
+        let program = program_with(src);
+        let cand = first_candidate(&program);
+        let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
+        let out = exec.run(&cand, "12345678", &PackageIndex::new());
+        assert!(out.completed());
+        assert!(out.harvest.iter().any(|(_, v)| v == "8"));
+    }
+
+    #[test]
+    fn rewrites_script_constant() {
+        let src = "card = '4111111111111111'\nresult = len(card)\n";
+        let program = program_with(src);
+        let cand = first_candidate(&program);
+        assert!(matches!(cand.entry, EntryPoint::ScriptConstant { .. }));
+        let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
+        let out = exec.run(&cand, "12345", &PackageIndex::new());
+        assert!(out.completed());
+        assert!(out
+            .harvest
+            .iter()
+            .any(|(k, v)| k == "result" && v == "5"));
+    }
+
+    #[test]
+    fn static_dependency_resolution_installs_packages() {
+        let mut packages = PackageIndex::new();
+        packages.insert("luhnlib", "def luhn_sum(s):\n    total = 0\n    for c in s:\n        total += int(c)\n    return total\n");
+        let src = "import luhnlib\n\ndef f(s):\n    return luhnlib.luhn_sum(s)\n";
+        let program = program_with(src);
+        let cand = first_candidate(&program);
+        let mut exec = Executor::new(program, &packages, FUEL);
+        assert_eq!(exec.installs, 1);
+        let out = exec.run(&cand, "123", &packages);
+        assert!(out.completed());
+        assert!(out.harvest.iter().any(|(_, v)| v == "6"));
+    }
+
+    #[test]
+    fn missing_package_fails_with_import_error() {
+        let src = "import nosuchpkg\n\ndef f(s):\n    return s\n";
+        let program = program_with(src);
+        let cand = first_candidate(&program);
+        let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
+        let out = exec.run(&cand, "x", &PackageIndex::new());
+        assert!(!out.completed());
+        assert!(out
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Exception { kind } if kind == "ImportError")));
+    }
+
+    #[test]
+    fn inter_procedural_tracing_covers_callee_branches() {
+        let src = r#"
+def helper(s):
+    if s.isdigit():
+        return True
+    return False
+
+def f(s):
+    return helper(s)
+"#;
+        let program = program_with(src);
+        let (cands, _) = analyze_module(0, &program.file(0).module);
+        let f = cands
+            .iter()
+            .find(|c| matches!(&c.entry, EntryPoint::Function { name } if name == "f"))
+            .unwrap()
+            .clone();
+        let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
+        let out = exec.run(&f, "123", &PackageIndex::new());
+        // The branch inside helper (line 3) must appear in f's trace.
+        assert!(out
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Branch { site, taken: true } if site.line == 3)));
+    }
+
+    #[test]
+    fn exceptions_are_part_of_the_trace() {
+        let program = program_with("def f(s):\n    return int(s)\n");
+        let cand = first_candidate(&program);
+        let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
+        let out = exec.run(&cand, "not-a-number", &PackageIndex::new());
+        assert!(!out.completed());
+        assert!(out
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Exception { kind } if kind == "ValueError")));
+    }
+
+    #[test]
+    fn fuel_used_is_reported() {
+        let program = program_with("def f(s):\n    total = 0\n    for c in s:\n        total += 1\n    return total\n");
+        let cand = first_candidate(&program);
+        let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
+        let short = exec.run(&cand, "ab", &PackageIndex::new()).fuel_used;
+        let long = exec.run(&cand, "abcdefghijklmnop", &PackageIndex::new()).fuel_used;
+        assert!(long > short);
+    }
+}

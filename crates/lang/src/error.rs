@@ -1,0 +1,116 @@
+//! Runtime errors (PyLite exceptions).
+
+use std::fmt;
+
+/// A runtime exception. `kind` is the Python-style exception class name
+/// (`ValueError`, `TypeError`, ... or any user-raised name); special internal
+/// kinds that are *not catchable* by `except` are [`PyError::FUEL`] (the
+/// deterministic stand-in for AutoType's 30-second execution timeout) and
+/// [`PyError::RECURSION`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PyError {
+    pub kind: String,
+    pub message: String,
+    /// Best-effort source line where the error was raised.
+    pub line: u32,
+}
+
+impl PyError {
+    /// Internal kind for fuel exhaustion (the simulated execution timeout).
+    pub const FUEL: &'static str = "__FuelExhausted__";
+    /// Internal kind for call-stack overflow.
+    pub const RECURSION: &'static str = "__RecursionLimit__";
+
+    pub fn new(kind: impl Into<String>, message: impl Into<String>, line: u32) -> Self {
+        PyError {
+            kind: kind.into(),
+            message: message.into(),
+            line,
+        }
+    }
+
+    pub fn value_error(message: impl Into<String>, line: u32) -> Self {
+        Self::new("ValueError", message, line)
+    }
+
+    pub fn type_error(message: impl Into<String>, line: u32) -> Self {
+        Self::new("TypeError", message, line)
+    }
+
+    pub fn name_error(name: &str, line: u32) -> Self {
+        Self::new("NameError", format!("name '{name}' is not defined"), line)
+    }
+
+    pub fn attribute_error(type_name: &str, attr: &str, line: u32) -> Self {
+        Self::new(
+            "AttributeError",
+            format!("'{type_name}' object has no attribute '{attr}'"),
+            line,
+        )
+    }
+
+    pub fn index_error(line: u32) -> Self {
+        Self::new("IndexError", "index out of range", line)
+    }
+
+    pub fn key_error(key: &str, line: u32) -> Self {
+        Self::new("KeyError", key, line)
+    }
+
+    pub fn import_error(module: &str, line: u32) -> Self {
+        Self::new(
+            "ImportError",
+            format!("No module named {module}"),
+            line,
+        )
+    }
+
+    pub fn fuel_exhausted() -> Self {
+        Self::new(Self::FUEL, "execution budget exhausted (timeout)", 0)
+    }
+
+    pub fn recursion() -> Self {
+        Self::new(Self::RECURSION, "maximum recursion depth exceeded", 0)
+    }
+
+    /// Whether an `except` clause can catch this error. The fuel timeout and
+    /// recursion overflow abort execution unconditionally, exactly as
+    /// AutoType's watchdog thread kills over-long runs (Appendix D.3).
+    pub fn catchable(&self) -> bool {
+        self.kind != Self::FUEL && self.kind != Self::RECURSION
+    }
+
+    /// True when this error models the execution timeout.
+    pub fn is_timeout(&self) -> bool {
+        self.kind == Self::FUEL
+    }
+}
+
+impl fmt::Display for PyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} (line {})", self.kind, self.message, self.line)
+    }
+}
+
+impl std::error::Error for PyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuel_and_recursion_are_uncatchable() {
+        assert!(!PyError::fuel_exhausted().catchable());
+        assert!(!PyError::recursion().catchable());
+        assert!(PyError::value_error("x", 1).catchable());
+        assert!(PyError::new("MyCustomError", "boom", 3).catchable());
+    }
+
+    #[test]
+    fn display_includes_kind_and_line() {
+        let e = PyError::value_error("bad literal", 12);
+        let s = e.to_string();
+        assert!(s.contains("ValueError"));
+        assert!(s.contains("12"));
+    }
+}

@@ -1,0 +1,445 @@
+//! Indentation-aware lexer for PyLite.
+//!
+//! The lexer (see [`lex`]) turns source text into a token stream with explicit
+//! `Newline`/`Indent`/`Dedent` tokens, mirroring Python's tokenizer. Blank
+//! lines and comment-only lines produce no tokens; indentation inside
+//! parentheses/brackets is ignored (implicit line joining).
+
+use crate::token::{keyword, Tok, Token};
+
+/// An error produced while lexing, with the offending 1-based line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize PyLite source text.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    indents: Vec<usize>,
+    tokens: Vec<Token>,
+    paren_depth: usize,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            indents: vec![0],
+            tokens: Vec::new(),
+            paren_depth: 0,
+            source,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        // The source is processed line-group by line-group; at the start of
+        // each logical line we measure indentation.
+        let _ = self.source;
+        let mut at_line_start = true;
+        while self.pos < self.chars.len() {
+            if at_line_start && self.paren_depth == 0 {
+                if self.handle_indentation()? {
+                    // Blank or comment-only line: skip it entirely.
+                    continue;
+                }
+                at_line_start = false;
+            }
+            let c = match self.peek() {
+                Some(c) => c,
+                None => break,
+            };
+            match c {
+                ' ' | '\t' => {
+                    self.bump();
+                }
+                '#' => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '\n' => {
+                    self.bump();
+                    self.line += 1;
+                    if self.paren_depth == 0 {
+                        self.emit(Tok::Newline);
+                        at_line_start = true;
+                    }
+                }
+                '\\' if self.peek_at(1) == Some('\n') => {
+                    // Explicit line continuation.
+                    self.bump();
+                    self.bump();
+                    self.line += 1;
+                }
+                '\'' | '"' => self.lex_string(c)?,
+                c if c.is_ascii_digit() => self.lex_number()?,
+                c if c.is_alphabetic() || c == '_' => self.lex_ident(),
+                _ => self.lex_operator()?,
+            }
+        }
+        // Close any dangling logical line, then unwind indentation.
+        if !at_line_start || self.paren_depth > 0 {
+            self.emit(Tok::Newline);
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.emit(Tok::Dedent);
+        }
+        self.emit(Tok::Eof);
+        Ok(self.tokens)
+    }
+
+    /// Measure indentation at a line start, emitting Indent/Dedent tokens.
+    /// Returns true if the line was blank / comment-only and was consumed.
+    fn handle_indentation(&mut self) -> Result<bool, LexError> {
+        let mut width = 0usize;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            match c {
+                ' ' => {
+                    width += 1;
+                    self.bump();
+                }
+                '\t' => {
+                    width += 8 - (width % 8);
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        match self.peek() {
+            None => return Ok(true),
+            Some('\n') => {
+                self.bump();
+                self.line += 1;
+                return Ok(true);
+            }
+            Some('#') => {
+                while let Some(c) = self.peek() {
+                    self.bump();
+                    if c == '\n' {
+                        self.line += 1;
+                        break;
+                    }
+                }
+                return Ok(true);
+            }
+            Some(_) => {}
+        }
+        let current = *self.indents.last().expect("indent stack never empty");
+        if width > current {
+            self.indents.push(width);
+            self.emit(Tok::Indent);
+        } else if width < current {
+            while *self.indents.last().unwrap() > width {
+                self.indents.pop();
+                self.emit(Tok::Dedent);
+            }
+            if *self.indents.last().unwrap() != width {
+                return Err(self.error("inconsistent dedent"));
+            }
+        }
+        let _ = start;
+        Ok(false)
+    }
+
+    fn lex_string(&mut self, quote: char) -> Result<(), LexError> {
+        self.bump();
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string literal")),
+                Some('\n') => return Err(self.error("newline in string literal")),
+                Some('\\') => {
+                    self.bump();
+                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.bump();
+                    value.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        '0' => '\0',
+                        '\\' => '\\',
+                        '\'' => '\'',
+                        '"' => '"',
+                        other => other,
+                    });
+                }
+                Some(c) if c == quote => {
+                    self.bump();
+                    break;
+                }
+                Some(c) => {
+                    value.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.emit(Tok::Str(value));
+        Ok(())
+    }
+
+    fn lex_number(&mut self) -> Result<(), LexError> {
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && !is_float && self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if is_float {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| self.error("invalid float literal"))?;
+            self.emit(Tok::Float(value));
+        } else {
+            let value: i64 = text
+                .parse()
+                .map_err(|_| self.error("integer literal out of range"))?;
+            self.emit(Tok::Int(value));
+        }
+        Ok(())
+    }
+
+    fn lex_ident(&mut self) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match keyword(&text) {
+            Some(tok) => self.emit(tok),
+            None => self.emit(Tok::Ident(text)),
+        }
+    }
+
+    fn lex_operator(&mut self) -> Result<(), LexError> {
+        let c = self.peek().unwrap();
+        let next = self.peek_at(1);
+        let (tok, width) = match (c, next) {
+            ('*', Some('*')) => (Tok::StarStar, 2),
+            ('/', Some('/')) => {
+                if self.peek_at(2) == Some('=') {
+                    (Tok::SlashSlashEq, 3)
+                } else {
+                    (Tok::SlashSlash, 2)
+                }
+            }
+            ('=', Some('=')) => (Tok::EqEq, 2),
+            ('!', Some('=')) => (Tok::NotEq, 2),
+            ('<', Some('=')) => (Tok::LtEq, 2),
+            ('>', Some('=')) => (Tok::GtEq, 2),
+            ('+', Some('=')) => (Tok::PlusEq, 2),
+            ('-', Some('=')) => (Tok::MinusEq, 2),
+            ('*', Some('=')) => (Tok::StarEq, 2),
+            ('%', Some('=')) => (Tok::PercentEq, 2),
+            ('+', _) => (Tok::Plus, 1),
+            ('-', _) => (Tok::Minus, 1),
+            ('*', _) => (Tok::Star, 1),
+            ('/', _) => (Tok::Slash, 1),
+            ('%', _) => (Tok::Percent, 1),
+            ('=', _) => (Tok::Eq, 1),
+            ('<', _) => (Tok::Lt, 1),
+            ('>', _) => (Tok::Gt, 1),
+            ('(', _) => {
+                self.paren_depth += 1;
+                (Tok::LParen, 1)
+            }
+            (')', _) => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                (Tok::RParen, 1)
+            }
+            ('[', _) => {
+                self.paren_depth += 1;
+                (Tok::LBracket, 1)
+            }
+            (']', _) => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                (Tok::RBracket, 1)
+            }
+            ('{', _) => {
+                self.paren_depth += 1;
+                (Tok::LBrace, 1)
+            }
+            ('}', _) => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                (Tok::RBrace, 1)
+            }
+            (',', _) => (Tok::Comma, 1),
+            (':', _) => (Tok::Colon, 1),
+            ('.', _) => (Tok::Dot, 1),
+            (other, _) => {
+                return Err(self.error(&format!("unexpected character {other:?}")));
+            }
+        };
+        for _ in 0..width {
+            self.bump();
+        }
+        self.emit(tok);
+        Ok(())
+    }
+
+    fn emit(&mut self, tok: Tok) {
+        self.tokens.push(Token::new(tok, self.line));
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn error(&self, message: &str) -> LexError {
+        LexError {
+            line: self.line,
+            message: message.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        assert_eq!(
+            kinds("x = 1\n"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_indentation_blocks() {
+        let toks = kinds("if x:\n    y = 2\nz = 3\n");
+        assert!(toks.contains(&Tok::Indent));
+        assert!(toks.contains(&Tok::Dedent));
+        let indent_pos = toks.iter().position(|t| *t == Tok::Indent).unwrap();
+        let dedent_pos = toks.iter().position(|t| *t == Tok::Dedent).unwrap();
+        assert!(indent_pos < dedent_pos);
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        let toks = kinds("x = 1\n\n# a comment\n   \ny = 2\n");
+        let newlines = toks.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds("s = 'a\\nb'\n")[2],
+            Tok::Str("a\nb".into()),
+        );
+        assert_eq!(kinds("s = \"hi\"\n")[2], Tok::Str("hi".into()));
+    }
+
+    #[test]
+    fn float_and_int_literals() {
+        assert_eq!(kinds("x = 3.5\n")[2], Tok::Float(3.5));
+        assert_eq!(kinds("x = 42\n")[2], Tok::Int(42));
+    }
+
+    #[test]
+    fn implicit_line_joining_in_brackets() {
+        let toks = kinds("x = [1,\n     2]\n");
+        let newlines = toks.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(newlines, 1, "newline inside brackets must be swallowed");
+    }
+
+    #[test]
+    fn double_char_operators() {
+        let toks = kinds("a == b != c <= d >= e // f ** g\n");
+        assert!(toks.contains(&Tok::EqEq));
+        assert!(toks.contains(&Tok::NotEq));
+        assert!(toks.contains(&Tok::LtEq));
+        assert!(toks.contains(&Tok::GtEq));
+        assert!(toks.contains(&Tok::SlashSlash));
+        assert!(toks.contains(&Tok::StarStar));
+    }
+
+    #[test]
+    fn keywords_are_recognized() {
+        let toks = kinds("def f():\n    return None\n");
+        assert_eq!(toks[0], Tok::Def);
+        assert!(toks.contains(&Tok::Return));
+        assert!(toks.contains(&Tok::None));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("s = 'oops\n").is_err());
+    }
+
+    #[test]
+    fn inconsistent_dedent_is_error() {
+        assert!(lex("if x:\n        y = 1\n   z = 2\n").is_err());
+    }
+
+    #[test]
+    fn nested_dedents_unwind_fully() {
+        let toks = kinds("if a:\n    if b:\n        c = 1\n");
+        let dedents = toks.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a = 1\nb = 2\n").unwrap();
+        let b = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b.line, 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Token definitions for the PyLite lexer.
+
+use std::fmt;
+
+/// A lexical token kind produced by [`crate::lexer::lex`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers.
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+
+    // Keywords.
+    Def,
+    Class,
+    If,
+    Elif,
+    Else,
+    While,
+    For,
+    In,
+    Return,
+    Raise,
+    Try,
+    Except,
+    As,
+    Pass,
+    Break,
+    Continue,
+    Import,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    None,
+
+    // Operators and punctuation.
+    Plus,
+    Minus,
+    Star,
+    StarStar,
+    Slash,
+    SlashSlash,
+    Percent,
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashSlashEq,
+    PercentEq,
+    EqEq,
+    NotEq,
+    Lt,
+    Gt,
+    LtEq,
+    GtEq,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+
+    // Layout.
+    Newline,
+    Indent,
+    Dedent,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Newline => write!(f, "<newline>"),
+            Tok::Indent => write!(f, "<indent>"),
+            Tok::Dedent => write!(f, "<dedent>"),
+            Tok::Eof => write!(f, "<eof>"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token paired with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn new(tok: Tok, line: u32) -> Self {
+        Token { tok, line }
+    }
+}
+
+/// Look up the keyword for an identifier, if it is one.
+pub fn keyword(ident: &str) -> Option<Tok> {
+    Some(match ident {
+        "def" => Tok::Def,
+        "class" => Tok::Class,
+        "if" => Tok::If,
+        "elif" => Tok::Elif,
+        "else" => Tok::Else,
+        "while" => Tok::While,
+        "for" => Tok::For,
+        "in" => Tok::In,
+        "return" => Tok::Return,
+        "raise" => Tok::Raise,
+        "try" => Tok::Try,
+        "except" => Tok::Except,
+        "as" => Tok::As,
+        "pass" => Tok::Pass,
+        "break" => Tok::Break,
+        "continue" => Tok::Continue,
+        "import" => Tok::Import,
+        "and" => Tok::And,
+        "or" => Tok::Or,
+        "not" => Tok::Not,
+        "True" => Tok::True,
+        "False" => Tok::False,
+        "None" => Tok::None,
+        _ => return None,
+    })
+}

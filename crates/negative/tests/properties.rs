@@ -1,0 +1,79 @@
+//! Property-based tests for the mutation-strategy hierarchy (§6,
+//! Proposition 1) over arbitrary positive-example sets.
+
+use autotype_negative::{
+    generate_negatives, is_punct, mutate, Alphabet, MutationConfig, Strategy,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn example_strategy() -> impl proptest::strategy::Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-zA-Z0-9.:, -]{3,24}", 1..6)
+}
+
+proptest! {
+    /// S1 never touches punctuation: every punctuation character of the
+    /// source survives in place.
+    #[test]
+    fn s1_preserves_every_punctuation_position(positives in example_strategy(), seed in 0u64..1000) {
+        let alphabet = Alphabet::infer(&positives);
+        let cfg = MutationConfig {
+            length_probability: 0.0,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for p in &positives {
+            let m = mutate(p, Strategy::S1, &alphabet, &cfg, &mut rng);
+            prop_assert_eq!(m.chars().count(), p.chars().count());
+            for (orig, mutated) in p.chars().zip(m.chars()) {
+                if is_punct(orig) {
+                    prop_assert_eq!(orig, mutated, "S1 mutated punctuation in {:?} -> {:?}", p, m);
+                }
+            }
+        }
+    }
+
+    /// S2 never leaves the inferred alphabet.
+    #[test]
+    fn s2_stays_within_inferred_alphabet(positives in example_strategy(), seed in 0u64..1000) {
+        let alphabet = Alphabet::infer(&positives);
+        let cfg = MutationConfig {
+            length_probability: 0.0,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for p in &positives {
+            let m = mutate(p, Strategy::S2, &alphabet, &cfg, &mut rng);
+            for c in m.chars() {
+                prop_assert!(alphabet.all.contains(&c), "S2 escaped alphabet: {:?} in {:?}", c, m);
+            }
+        }
+    }
+
+    /// Generated negatives never collide with a positive example and the
+    /// requested count is honored.
+    #[test]
+    fn negatives_avoid_positives(positives in example_strategy(), seed in 0u64..1000) {
+        let cfg = MutationConfig {
+            per_positive: 5,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Degenerate inputs (e.g. a single-character alphabet) cannot
+        // always produce distinct mutants; the full count is only
+        // guaranteed with a rich enough non-punctuation alphabet.
+        let alphabet = Alphabet::infer(&positives);
+        for strategy in Strategy::HIERARCHY {
+            let negs = generate_negatives(&positives, strategy, &cfg, &mut rng);
+            prop_assert!(negs.len() <= positives.len() * 5);
+            if alphabet.non_punct.len() >= 3 {
+                prop_assert_eq!(negs.len(), positives.len() * 5);
+            }
+            for n in &negs {
+                prop_assert!(!positives.contains(n));
+                prop_assert!(!n.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The two simulated search APIs and their top-k union (§4.1).
+
+use crate::index::{Document, FieldWeights, Index, Scoring};
+
+/// One search hit: the caller-supplied document id plus score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    pub doc_id: usize,
+    pub score: f64,
+}
+
+/// A configured search engine over a document collection.
+pub struct SearchEngine {
+    index: Index,
+    scoring: Scoring,
+    ids: Vec<usize>,
+    pub name: &'static str,
+}
+
+impl SearchEngine {
+    /// The simulated GitHub search API: name/description-heavy TF-IDF —
+    /// repository metadata dominates, like topic/name matching on GitHub.
+    pub fn github(documents: &[Document]) -> SearchEngine {
+        SearchEngine {
+            index: Index::build(
+                documents,
+                FieldWeights {
+                    name: 6.0,
+                    description: 3.0,
+                    readme: 1.0,
+                    code: 0.25,
+                },
+            ),
+            scoring: Scoring::TfIdf,
+            ids: documents.iter().map(|d| d.id).collect(),
+            name: "github",
+        }
+    }
+
+    /// The simulated Bing web search (`"<keyword> site:github.com"`):
+    /// full-text BM25 over READMEs and code, which surfaces repositories
+    /// whose names don't mention the type — the complementary results the
+    /// paper relies on.
+    pub fn bing(documents: &[Document]) -> SearchEngine {
+        SearchEngine {
+            index: Index::build(
+                documents,
+                FieldWeights {
+                    name: 1.5,
+                    description: 1.5,
+                    readme: 3.0,
+                    code: 1.0,
+                },
+            ),
+            scoring: Scoring::Bm25,
+            ids: documents.iter().map(|d| d.id).collect(),
+            name: "bing",
+        }
+    }
+
+    /// A custom engine (used by tests and the KW baseline).
+    pub fn custom(documents: &[Document], weights: FieldWeights, scoring: Scoring) -> SearchEngine {
+        SearchEngine {
+            index: Index::build(documents, weights),
+            scoring,
+            ids: documents.iter().map(|d| d.id).collect(),
+            name: "custom",
+        }
+    }
+
+    /// Top-k results for a query.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        self.index
+            .score(query, self.scoring)
+            .into_iter()
+            .take(k)
+            .map(|(pos, score)| SearchHit {
+                doc_id: self.ids[pos],
+                score,
+            })
+            .collect()
+    }
+}
+
+/// Union of the top-k results from several engines, preserving first-seen
+/// order (GitHub results first, then new Bing results — §4.1 takes "the
+/// union of top-40 repositories returned by these two APIs").
+pub fn union_top_k(engines: &[&SearchEngine], query: &str, k: usize) -> Vec<usize> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for engine in engines {
+        for hit in engine.search(query, k) {
+            if seen.insert(hit.doc_id) {
+                out.push(hit.doc_id);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::Field;
+
+    fn docs() -> Vec<Document> {
+        vec![
+            Document {
+                id: 100,
+                fields: vec![
+                    (Field::Name, "isbn-tools".into()),
+                    (Field::Description, "ISBN utilities".into()),
+                    (Field::Readme, "validate isbn numbers".into()),
+                ],
+            },
+            Document {
+                id: 200,
+                fields: vec![
+                    (Field::Name, "book-manager".into()),
+                    (Field::Description, "library manager".into()),
+                    (
+                        Field::Readme,
+                        "manage books by isbn international standard book number".into(),
+                    ),
+                ],
+            },
+            Document {
+                id: 300,
+                fields: vec![
+                    (Field::Name, "unrelated".into()),
+                    (Field::Readme, "nothing to see".into()),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn both_engines_find_the_obvious_repo() {
+        let d = docs();
+        let github = SearchEngine::github(&d);
+        let bing = SearchEngine::bing(&d);
+        assert_eq!(github.search("isbn", 1)[0].doc_id, 100);
+        assert!(bing.search("isbn", 2).iter().any(|h| h.doc_id == 100));
+    }
+
+    #[test]
+    fn engines_are_complementary() {
+        let d = docs();
+        let github = SearchEngine::github(&d);
+        let bing = SearchEngine::bing(&d);
+        // The long-form query only matches README text, which the
+        // Bing-style engine weighs higher.
+        let gh_top: Vec<usize> = github
+            .search("international standard book number", 1)
+            .iter()
+            .map(|h| h.doc_id)
+            .collect();
+        let bing_top: Vec<usize> = bing
+            .search("international standard book number", 1)
+            .iter()
+            .map(|h| h.doc_id)
+            .collect();
+        assert_eq!(bing_top, vec![200]);
+        // Union covers everything relevant either way.
+        let union = union_top_k(&[&github, &bing], "isbn", 2);
+        assert!(union.contains(&100));
+        assert!(union.contains(&200));
+        let _ = gh_top;
+    }
+
+    #[test]
+    fn union_deduplicates_and_preserves_order() {
+        let d = docs();
+        let github = SearchEngine::github(&d);
+        let bing = SearchEngine::bing(&d);
+        let union = union_top_k(&[&github, &bing], "isbn", 3);
+        let unique: std::collections::HashSet<_> = union.iter().collect();
+        assert_eq!(unique.len(), union.len());
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let d = docs();
+        let github = SearchEngine::github(&d);
+        assert!(github.search("isbn", 1).len() <= 1);
+    }
+}

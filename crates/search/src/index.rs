@@ -1,0 +1,251 @@
+//! Field-weighted inverted index with TF-IDF and BM25 scoring.
+
+use crate::tokenize::tokenize;
+use std::collections::HashMap;
+
+/// Document fields, with different weights per engine (repository name
+/// matches matter more on GitHub search; body text matters more on a web
+/// engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Field {
+    /// Repository or function name.
+    Name,
+    /// Short description / docstring.
+    Description,
+    /// README or comments.
+    Readme,
+    /// Source code text (identifiers).
+    Code,
+}
+
+/// A document to index: id + per-field text.
+#[derive(Debug, Clone)]
+pub struct Document {
+    pub id: usize,
+    pub fields: Vec<(Field, String)>,
+}
+
+/// Scoring function selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scoring {
+    TfIdf,
+    Bm25,
+}
+
+/// Per-field weights applied to term frequencies at index time.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldWeights {
+    pub name: f64,
+    pub description: f64,
+    pub readme: f64,
+    pub code: f64,
+}
+
+impl FieldWeights {
+    pub fn uniform() -> Self {
+        FieldWeights {
+            name: 1.0,
+            description: 1.0,
+            readme: 1.0,
+            code: 1.0,
+        }
+    }
+
+    fn get(&self, field: Field) -> f64 {
+        match field {
+            Field::Name => self.name,
+            Field::Description => self.description,
+            Field::Readme => self.readme,
+            Field::Code => self.code,
+        }
+    }
+}
+
+/// An inverted index over a fixed document collection.
+pub struct Index {
+    /// term -> (doc, weighted term frequency)
+    postings: HashMap<String, Vec<(usize, f64)>>,
+    /// weighted length per document.
+    doc_len: Vec<f64>,
+    avg_len: f64,
+    n_docs: usize,
+}
+
+impl Index {
+    /// Build an index with the given field weights.
+    pub fn build(documents: &[Document], weights: FieldWeights) -> Index {
+        let n_docs = documents.len();
+        let mut postings: HashMap<String, Vec<(usize, f64)>> = HashMap::new();
+        let mut doc_len = vec![0.0; n_docs];
+        for (pos, doc) in documents.iter().enumerate() {
+            let mut tf: HashMap<String, f64> = HashMap::new();
+            for (field, text) in &doc.fields {
+                let w = weights.get(*field);
+                for token in tokenize(text) {
+                    *tf.entry(token).or_default() += w;
+                    doc_len[pos] += w;
+                }
+            }
+            for (term, freq) in tf {
+                postings.entry(term).or_default().push((pos, freq));
+            }
+        }
+        let avg_len = if n_docs == 0 {
+            0.0
+        } else {
+            doc_len.iter().sum::<f64>() / n_docs as f64
+        };
+        Index {
+            postings,
+            doc_len,
+            avg_len,
+            n_docs,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n_docs
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_docs == 0
+    }
+
+    /// Score all documents against a query; returns (doc position, score)
+    /// for documents with a non-zero score, sorted descending (ties by
+    /// position for determinism).
+    pub fn score(&self, query: &str, scoring: Scoring) -> Vec<(usize, f64)> {
+        let terms = tokenize(query);
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        for term in &terms {
+            let Some(posting) = self.postings.get(term) else {
+                continue;
+            };
+            let df = posting.len() as f64;
+            let n = self.n_docs as f64;
+            match scoring {
+                Scoring::TfIdf => {
+                    let idf = (n / df).ln() + 1.0;
+                    for (doc, tf) in posting {
+                        let norm = self.doc_len[*doc].max(1.0);
+                        *scores.entry(*doc).or_default() += (tf / norm.sqrt()) * idf;
+                    }
+                }
+                Scoring::Bm25 => {
+                    const K1: f64 = 1.2;
+                    const B: f64 = 0.75;
+                    let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+                    for (doc, tf) in posting {
+                        let norm =
+                            K1 * (1.0 - B + B * self.doc_len[*doc] / self.avg_len.max(1.0));
+                        *scores.entry(*doc).or_default() += idf * (tf * (K1 + 1.0)) / (tf + norm);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(usize, f64)> = scores.into_iter().collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: usize, name: &str, body: &str) -> Document {
+        Document {
+            id,
+            fields: vec![
+                (Field::Name, name.to_string()),
+                (Field::Readme, body.to_string()),
+            ],
+        }
+    }
+
+    #[test]
+    fn relevant_documents_rank_first() {
+        let docs = vec![
+            doc(0, "credit-card-validator", "validate credit card numbers with luhn"),
+            doc(1, "ip-tools", "parse ip address ipv4 ipv6"),
+            doc(2, "string-utils", "generic string helpers"),
+        ];
+        let index = Index::build(&docs, FieldWeights::uniform());
+        let hits = index.score("credit card", Scoring::TfIdf);
+        assert_eq!(hits[0].0, 0);
+        let hits = index.score("ip address", Scoring::Bm25);
+        assert_eq!(hits[0].0, 1);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let docs = vec![doc(0, "a", "b")];
+        let index = Index::build(&docs, FieldWeights::uniform());
+        assert!(index.score("zzz qqq", Scoring::TfIdf).is_empty());
+    }
+
+    #[test]
+    fn field_weights_shift_ranking() {
+        let docs = vec![
+            doc(0, "swift", "a general purpose programming language"),
+            Document {
+                id: 1,
+                fields: vec![
+                    (Field::Name, "bank-messages".to_string()),
+                    (
+                        Field::Readme,
+                        "parse swift mt103 interbank financial messages".to_string(),
+                    ),
+                ],
+            },
+        ];
+        // Name-heavy engine favours the Swift language repo.
+        let name_heavy = Index::build(
+            &docs,
+            FieldWeights {
+                name: 8.0,
+                description: 1.0,
+                readme: 0.5,
+                code: 0.5,
+            },
+        );
+        assert_eq!(name_heavy.score("swift", Scoring::TfIdf)[0].0, 0);
+        // Body-heavy engine favours the financial-message repo for the
+        // disambiguated query.
+        let body_heavy = Index::build(
+            &docs,
+            FieldWeights {
+                name: 1.0,
+                description: 1.0,
+                readme: 3.0,
+                code: 1.0,
+            },
+        );
+        assert_eq!(body_heavy.score("swift message", Scoring::Bm25)[0].0, 1);
+    }
+
+    #[test]
+    fn idf_downweights_common_terms() {
+        let docs = vec![
+            doc(0, "x", "parser parser parser credit"),
+            doc(1, "y", "parser"),
+            doc(2, "z", "parser"),
+        ];
+        let index = Index::build(&docs, FieldWeights::uniform());
+        let hits = index.score("credit parser", Scoring::TfIdf);
+        assert_eq!(hits[0].0, 0, "rare term should dominate");
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let docs = vec![doc(0, "same", "x"), doc(1, "same", "x")];
+        let index = Index::build(&docs, FieldWeights::uniform());
+        let hits = index.score("same", Scoring::Bm25);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[1].0, 1);
+    }
+}

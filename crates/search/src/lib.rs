@@ -1,0 +1,19 @@
+//! # autotype-search — simulated code-search engines
+//!
+//! AutoType retrieves candidate repositories with keyword search: "we
+//! leverage both the GitHub search API as well as the Bing search API ...
+//! We take the union of top-40 repositories returned by these two APIs
+//! since their results are often complementary" (§4.1).
+//!
+//! This crate supplies the substitution: a field-weighted inverted index
+//! with TF-IDF and BM25 scoring, instantiated twice with different field
+//! weightings to model the two complementary engines, plus the plain
+//! TF-IDF *function* ranking used by the paper's KW baseline (§8.1).
+
+pub mod engine;
+pub mod index;
+pub mod tokenize;
+
+pub use engine::{union_top_k, SearchEngine, SearchHit};
+pub use index::{Document, Field, Index, Scoring};
+pub use tokenize::tokenize;

@@ -1,0 +1,65 @@
+//! Tokenization for code-search documents: lowercasing, splitting on
+//! non-alphanumerics, and camelCase / snake_case splitting so identifiers
+//! like `isValidCreditCard` match the query "credit card".
+
+/// Tokenize text into lowercase terms.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for raw in text.split(|c: char| !c.is_ascii_alphanumeric()) {
+        if raw.is_empty() {
+            continue;
+        }
+        // Split camelCase boundaries and letter/digit boundaries.
+        let mut current = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        for (i, &c) in chars.iter().enumerate() {
+            let boundary = i > 0
+                && ((c.is_ascii_uppercase() && chars[i - 1].is_ascii_lowercase())
+                    || (c.is_ascii_digit() != chars[i - 1].is_ascii_digit()));
+            if boundary && !current.is_empty() {
+                tokens.push(std::mem::take(&mut current).to_ascii_lowercase());
+            }
+            current.push(c);
+        }
+        if !current.is_empty() {
+            tokens.push(current.to_ascii_lowercase());
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(tokenize("credit card"), vec!["credit", "card"]);
+        assert_eq!(tokenize("ip-address.v4"), vec!["ip", "address", "v", "4"]);
+    }
+
+    #[test]
+    fn splits_camel_case_identifiers() {
+        assert_eq!(
+            tokenize("isValidCreditCard"),
+            vec!["is", "valid", "credit", "card"]
+        );
+    }
+
+    #[test]
+    fn splits_snake_case_and_digits() {
+        assert_eq!(tokenize("parse_ipv4"), vec!["parse", "ipv", "4"]);
+        assert_eq!(tokenize("isbn13"), vec!["isbn", "13"]);
+    }
+
+    #[test]
+    fn lowercases_everything() {
+        assert_eq!(tokenize("SWIFT Message"), vec!["swift", "message"]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("---").is_empty());
+    }
+}

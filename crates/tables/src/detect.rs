@@ -1,0 +1,231 @@
+//! Column-type detection (§9.1): the three compared methods.
+//!
+//! * **DNF-S** — a synthesized type-detection function per type; a column
+//!   is predicted as type T when over 80 % of its values are accepted
+//!   ("to account for dirty values such as meta-data mixed in columns").
+//! * **KW** — header keyword matching.
+//! * **REGEX** — the Potter's-Wheel structure pattern inferred from the
+//!   same positive examples AutoType used.
+
+use crate::corpus::Column;
+use crate::regex::InferredPattern;
+
+/// Acceptance threshold over column values (both DNF-S and REGEX).
+pub const VALUE_THRESHOLD: f64 = 0.8;
+
+/// A detection produced by some method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    pub column: usize,
+    pub slug: &'static str,
+}
+
+/// Detect with per-type value predicates (the synthesized functions).
+pub fn detect_by_values(
+    columns: &[Column],
+    detectors: &[(&'static str, Box<dyn Fn(&str) -> bool + '_>)],
+) -> Vec<Detection> {
+    let mut out = Vec::new();
+    for (idx, column) in columns.iter().enumerate() {
+        if column.values.is_empty() {
+            continue;
+        }
+        for (slug, predicate) in detectors {
+            let accepted = column.values.iter().filter(|v| predicate(v)).count();
+            if accepted as f64 / column.values.len() as f64 > VALUE_THRESHOLD {
+                out.push(Detection { column: idx, slug });
+                break; // first matching type wins for a column
+            }
+        }
+    }
+    out
+}
+
+/// Detect with header keywords (the KW baseline): a column is predicted as
+/// T when its header contains one of T's keywords as a token substring.
+pub fn detect_by_header(
+    columns: &[Column],
+    keywords: &[(&'static str, Vec<&'static str>)],
+) -> Vec<Detection> {
+    let mut out = Vec::new();
+    for (idx, column) in columns.iter().enumerate() {
+        let Some(header) = &column.header else {
+            continue;
+        };
+        let header = header.to_lowercase();
+        for (slug, words) in keywords {
+            if words.iter().any(|w| header.contains(&w.to_lowercase())) {
+                out.push(Detection { column: idx, slug });
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Detect with inferred structure patterns (the REGEX baseline). Types
+/// whose pattern inference failed contribute no detections.
+pub fn detect_by_pattern(
+    columns: &[Column],
+    patterns: &[(&'static str, Option<InferredPattern>)],
+) -> Vec<Detection> {
+    let mut out = Vec::new();
+    for (idx, column) in columns.iter().enumerate() {
+        if column.values.is_empty() {
+            continue;
+        }
+        for (slug, pattern) in patterns {
+            let Some(pattern) = pattern else {
+                continue;
+            };
+            let accepted = column.values.iter().filter(|v| pattern.matches(v)).count();
+            if accepted as f64 / column.values.len() as f64 > VALUE_THRESHOLD {
+                out.push(Detection { column: idx, slug });
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Per-type precision / relative recall / F-score against ground truth,
+/// using the union of correct detections across methods as the recall
+/// denominator (§9.1's pooled "relative recall").
+#[derive(Debug, Clone, Default)]
+pub struct TypeOutcome {
+    pub detected: usize,
+    pub correct: usize,
+    pub union_truth: usize,
+}
+
+impl TypeOutcome {
+    pub fn precision(&self) -> f64 {
+        if self.detected == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.detected as f64
+    }
+
+    pub fn recall(&self) -> f64 {
+        if self.union_truth == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.union_truth as f64
+    }
+
+    pub fn f_score(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Score a method's detections for one type. `union_correct` is the set of
+/// column indices any method detected correctly for this type.
+pub fn score_type(
+    detections: &[Detection],
+    columns: &[Column],
+    slug: &str,
+    union_correct: &std::collections::BTreeSet<usize>,
+) -> TypeOutcome {
+    let mine: Vec<&Detection> = detections.iter().filter(|d| d.slug == slug).collect();
+    let correct = mine
+        .iter()
+        .filter(|d| columns[d.column].truth == Some(d.slug))
+        .count();
+    TypeOutcome {
+        detected: mine.len(),
+        correct,
+        union_truth: union_correct.len(),
+    }
+}
+
+/// Column indices a method detected correctly for a type.
+pub fn correct_columns(
+    detections: &[Detection],
+    columns: &[Column],
+    slug: &str,
+) -> std::collections::BTreeSet<usize> {
+    detections
+        .iter()
+        .filter(|d| d.slug == slug && columns[d.column].truth == Some(d.slug))
+        .map(|d| d.column)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns() -> Vec<Column> {
+        vec![
+            Column {
+                header: Some("ip".into()),
+                values: vec!["1.2.3.4".into(), "10.0.0.1".into(), "N/A".into(), "8.8.8.8".into(), "9.9.9.9".into(), "7.7.7.7".into()],
+                truth: Some("ipv4"),
+            },
+            Column {
+                header: Some("version number".into()),
+                values: vec!["7.74.0.0".into(), "1.2.0.0".into(), "2.0.0.1".into(), "3.1.0.0".into(), "8.0.0.0".into()],
+                truth: None,
+            },
+            Column {
+                header: Some("ip address list".into()),
+                values: vec!["hello".into(), "world".into(), "x".into(), "y".into(), "z".into()],
+                truth: None,
+            },
+        ]
+    }
+
+    fn ipv4_like(v: &str) -> bool {
+        let parts: Vec<&str> = v.split('.').collect();
+        parts.len() == 4
+            && parts
+                .iter()
+                .all(|p| p.parse::<u32>().map(|x| x <= 255).unwrap_or(false))
+    }
+
+    #[test]
+    fn value_detection_uses_80_percent_threshold() {
+        let cols = columns();
+        let detectors: Vec<(&'static str, Box<dyn Fn(&str) -> bool>)> =
+            vec![("ipv4", Box::new(ipv4_like))];
+        let detections = detect_by_values(&cols, &detectors);
+        // Column 0 has 5/6 valid (83%) → detected; column 1 is the
+        // version-number ambiguity → also detected (the §9.2 false
+        // positive); column 2 rejected.
+        assert!(detections.contains(&Detection { column: 0, slug: "ipv4" }));
+        assert!(detections.contains(&Detection { column: 1, slug: "ipv4" }));
+        assert!(!detections.iter().any(|d| d.column == 2));
+    }
+
+    #[test]
+    fn header_detection_matches_keywords_including_false_positives() {
+        let cols = columns();
+        let keywords = vec![("ipv4", vec!["ip", "ip address"])];
+        let detections = detect_by_header(&cols, &keywords);
+        assert!(detections.contains(&Detection { column: 0, slug: "ipv4" }));
+        // The keyword baseline's classic false positive: header mentions
+        // "ip address" but the values are not addresses.
+        assert!(detections.contains(&Detection { column: 2, slug: "ipv4" }));
+    }
+
+    #[test]
+    fn scoring_computes_precision_and_pooled_recall() {
+        let cols = columns();
+        let detectors: Vec<(&'static str, Box<dyn Fn(&str) -> bool>)> =
+            vec![("ipv4", Box::new(ipv4_like))];
+        let detections = detect_by_values(&cols, &detectors);
+        let union = correct_columns(&detections, &cols, "ipv4");
+        let outcome = score_type(&detections, &cols, "ipv4", &union);
+        assert_eq!(outcome.detected, 2);
+        assert_eq!(outcome.correct, 1);
+        assert!((outcome.precision() - 0.5).abs() < 1e-12);
+        assert!((outcome.recall() - 1.0).abs() < 1e-12);
+        assert!((outcome.f_score() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

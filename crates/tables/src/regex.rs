@@ -1,0 +1,185 @@
+//! The REGEX baseline (§9.1): structure patterns inferred from positive
+//! examples "using techniques described in Potter's Wheel".
+//!
+//! Each example is segmented into runs of digits, letters, and literal
+//! punctuation; patterns generalize across examples only when every example
+//! shares the same token structure (otherwise inference fails — the paper's
+//! "fails to generate a regex from examples containing mixed format").
+//! Matching checks token classes with min/max run lengths, so the pattern
+//! "often fail\[s\] to generalize when the input data cover a subset of
+//! possible examples" (e.g. undashed ISBNs never match dashed ones — §9.2).
+
+/// A structure token: a character-class run with observed length bounds, or
+/// a literal separator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PTok {
+    Digits { min: usize, max: usize },
+    Letters { min: usize, max: usize },
+    Literal(String),
+}
+
+/// An inferred structure pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferredPattern {
+    pub tokens: Vec<PTok>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Digit,
+    Letter,
+    Punct,
+}
+
+fn class_of(c: char) -> Class {
+    if c.is_ascii_digit() {
+        Class::Digit
+    } else if c.is_alphabetic() {
+        Class::Letter
+    } else {
+        Class::Punct
+    }
+}
+
+/// Segment a string into (class, run-text) tokens.
+fn segment(s: &str) -> Vec<(Class, String)> {
+    let mut out: Vec<(Class, String)> = Vec::new();
+    for c in s.chars() {
+        let cls = class_of(c);
+        match out.last_mut() {
+            Some((last, text)) if *last == cls && cls != Class::Punct => text.push(c),
+            _ => out.push((cls, c.to_string())),
+        }
+    }
+    out
+}
+
+/// Infer a pattern from positive examples. Returns `None` when the
+/// examples disagree structurally (mixed formats).
+pub fn infer_pattern<S: AsRef<str>>(examples: &[S]) -> Option<InferredPattern> {
+    let mut tokens: Option<Vec<PTok>> = None;
+    for example in examples {
+        let segs = segment(example.as_ref());
+        if segs.is_empty() {
+            return None;
+        }
+        match &mut tokens {
+            None => {
+                tokens = Some(
+                    segs.into_iter()
+                        .map(|(cls, text)| match cls {
+                            Class::Digit => PTok::Digits {
+                                min: text.len(),
+                                max: text.len(),
+                            },
+                            Class::Letter => PTok::Letters {
+                                min: text.chars().count(),
+                                max: text.chars().count(),
+                            },
+                            Class::Punct => PTok::Literal(text),
+                        })
+                        .collect(),
+                );
+            }
+            Some(existing) => {
+                if existing.len() != segs.len() {
+                    return None; // structural mismatch
+                }
+                for (tok, (cls, text)) in existing.iter_mut().zip(segs) {
+                    match (tok, cls) {
+                        (PTok::Digits { min, max }, Class::Digit) => {
+                            *min = (*min).min(text.len());
+                            *max = (*max).max(text.len());
+                        }
+                        (PTok::Letters { min, max }, Class::Letter) => {
+                            *min = (*min).min(text.chars().count());
+                            *max = (*max).max(text.chars().count());
+                        }
+                        (PTok::Literal(lit), Class::Punct) if *lit == text => {}
+                        _ => return None,
+                    }
+                }
+            }
+        }
+    }
+    tokens.map(|tokens| InferredPattern { tokens })
+}
+
+impl InferredPattern {
+    /// Match a string against the pattern (greedy run matching).
+    pub fn matches(&self, s: &str) -> bool {
+        let segs = segment(s);
+        if segs.len() != self.tokens.len() {
+            return false;
+        }
+        for (tok, (cls, text)) in self.tokens.iter().zip(segs) {
+            let ok = match (tok, cls) {
+                (PTok::Digits { min, max }, Class::Digit) => {
+                    (*min..=*max).contains(&text.len())
+                }
+                (PTok::Letters { min, max }, Class::Letter) => {
+                    (*min..=*max).contains(&text.chars().count())
+                }
+                (PTok::Literal(lit), Class::Punct) => *lit == text,
+                _ => false,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_phone_pattern() {
+        let p = infer_pattern(&["206-555-0123", "425-111-2222"]).unwrap();
+        assert!(p.matches("333-444-5555"));
+        assert!(!p.matches("3334445555"));
+        assert!(!p.matches("333.444.5555"));
+    }
+
+    #[test]
+    fn mixed_formats_fail_inference() {
+        assert!(infer_pattern(&["2017-01-01", "Jan 01, 2017"]).is_none());
+        assert!(infer_pattern(&["206-555-0123", "(206) 555-0123"]).is_none());
+    }
+
+    #[test]
+    fn undashed_isbn_pattern_rejects_dashed_isbn() {
+        // The paper's §9.2 example: trained on plain digits, real data has
+        // dashes.
+        let p = infer_pattern(&["9784063641561", "9780306406157"]).unwrap();
+        assert!(p.matches("9791234567896"));
+        assert!(!p.matches("978-4-06-364156-1"));
+    }
+
+    #[test]
+    fn digit_run_lengths_generalize_within_bounds() {
+        let p = infer_pattern(&["1.2.3.4", "192.168.10.250"]).unwrap();
+        assert!(p.matches("10.0.0.1"));
+        // But a regex knows nothing about the 0-255 range: an out-of-range
+        // octet within the observed run lengths still matches.
+        assert!(p.matches("999.99.9.99"));
+        assert!(!p.matches("1.2.3"));
+    }
+
+    #[test]
+    fn letter_runs_match_by_length() {
+        let p = infer_pattern(&["AAPL", "GE"]).unwrap();
+        assert!(p.matches("MSFT"));
+        assert!(!p.matches("TOOLONGG"));
+        assert!(!p.matches("123"));
+    }
+
+    #[test]
+    fn empty_examples_fail() {
+        assert!(infer_pattern(&[""]).is_none());
+        let empty: [&str; 0] = [];
+        assert!(infer_pattern(&empty).is_none());
+    }
+}

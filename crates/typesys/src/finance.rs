@@ -1,0 +1,608 @@
+//! Finance & commerce semantic types: 16 types.
+
+use crate::checksums as ck;
+use crate::gen;
+use crate::registry::{Coverage, Domain, Spec};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn types() -> Vec<Spec> {
+    vec![
+        Spec {
+            name: "SEDOL",
+            slug: "sedol",
+            domain: Domain::Finance,
+            keywords: &["SEDOL", "stock exchange daily official list", "SEDOL number"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: ck::sedol_valid,
+            generate: g_sedol,
+        },
+        Spec {
+            name: "UPC barcode",
+            slug: "upc",
+            domain: Domain::Finance,
+            keywords: &["UPC barcode", "UPC code", "universal product code"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_upc,
+            generate: g_upc,
+        },
+        Spec {
+            name: "CUSIP number",
+            slug: "cusip",
+            domain: Domain::Finance,
+            keywords: &["CUSIP", "CUSIP securities"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: ck::cusip_valid,
+            generate: g_cusip,
+        },
+        Spec {
+            name: "stock ticker",
+            slug: "ticker",
+            domain: Domain::Finance,
+            keywords: &["stock ticker", "stock symbol"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_ticker,
+            generate: g_ticker,
+        },
+        Spec {
+            name: "ABA routing number",
+            slug: "aba",
+            domain: Domain::Finance,
+            keywords: &["ABA routing number", "bank routing number"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: ck::aba_valid,
+            generate: g_aba,
+        },
+        Spec {
+            name: "EAN barcode",
+            slug: "ean",
+            domain: Domain::Finance,
+            keywords: &["EAN code", "EAN barcode", "european article number"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_ean,
+            generate: g_ean,
+        },
+        Spec {
+            name: "ASIN book number",
+            slug: "asin",
+            domain: Domain::Finance,
+            keywords: &["ASIN", "amazon standard identification number"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_asin,
+            generate: g_asin,
+        },
+        Spec {
+            name: "IBAN number",
+            slug: "iban",
+            domain: Domain::Finance,
+            keywords: &["IBAN number", "international bank account number"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: ck::iban_valid,
+            generate: g_iban,
+        },
+        Spec {
+            name: "bitcoin address",
+            slug: "bitcoin",
+            domain: Domain::Finance,
+            keywords: &["bitcoin address", "BTC wallet"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_bitcoin,
+            generate: g_bitcoin,
+        },
+        Spec {
+            name: "EDIFACT message",
+            slug: "edifact",
+            domain: Domain::Finance,
+            keywords: &["EDIFACT message", "UN EDIFACT"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_edifact,
+            generate: g_edifact,
+        },
+        Spec {
+            name: "FIX message",
+            slug: "fix",
+            domain: Domain::Finance,
+            keywords: &["FIX message", "FIX protocol"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_fix,
+            generate: g_fix,
+        },
+        Spec {
+            name: "GTIN number",
+            slug: "gtin",
+            domain: Domain::Finance,
+            keywords: &["GTIN", "global trade item number"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_gtin,
+            generate: g_gtin,
+        },
+        Spec {
+            name: "credit card number",
+            slug: "creditcard",
+            domain: Domain::Finance,
+            keywords: &["credit card", "credit card number"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_creditcard,
+            generate: g_creditcard,
+        },
+        Spec {
+            name: "currency amount",
+            slug: "currency",
+            domain: Domain::Finance,
+            keywords: &["currency", "money amount"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_currency,
+            generate: g_currency,
+        },
+        Spec {
+            name: "SWIFT message",
+            slug: "swift",
+            domain: Domain::Finance,
+            keywords: &[
+                "SWIFT message",
+                "Society for Worldwide Interbank Financial Telecommunication",
+                "SWIFT",
+            ],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_swift,
+            generate: g_swift,
+        },
+        Spec {
+            name: "NATO stock number",
+            slug: "nato",
+            domain: Domain::Finance,
+            keywords: &["NATO stock number", "NSN"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_nato,
+            generate: g_nato,
+        },
+    ]
+}
+
+fn g_sedol(rng: &mut StdRng) -> String {
+    // First six characters (consonant letters or digits), then check digit.
+    loop {
+        let body = gen::from_alphabet(rng, "0123456789BCDFGHJKLMNPQRSTVWXYZ", 6);
+        if let Some(check) = ck::sedol_check_digit(&body) {
+            return format!("{body}{check}");
+        }
+    }
+}
+
+fn v_upc(s: &str) -> bool {
+    s.len() == 12 && ck::gs1_valid(s)
+}
+
+fn g_upc(rng: &mut StdRng) -> String {
+    let body = gen::digits(rng, 11);
+    format!("{body}{}", ck::gs1_check_digit(&body))
+}
+
+fn g_cusip(rng: &mut StdRng) -> String {
+    let body = format!(
+        "{}{}",
+        gen::digits(rng, 3),
+        gen::from_alphabet(rng, "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ", 5)
+    );
+    let mut sum = 0u32;
+    for (i, c) in body.chars().enumerate() {
+        let mut v = match c {
+            '0'..='9' => c as u32 - '0' as u32,
+            _ => c as u32 - 'A' as u32 + 10,
+        };
+        if i % 2 == 1 {
+            v *= 2;
+        }
+        sum += v / 10 + v % 10;
+    }
+    format!("{body}{}", (10 - sum % 10) % 10)
+}
+
+fn v_ticker(s: &str) -> bool {
+    let (symbol, suffix) = match s.split_once('.') {
+        Some((sym, suf)) => (sym, Some(suf)),
+        None => (s, None),
+    };
+    let sym_ok = (1..=5).contains(&symbol.len())
+        && symbol.bytes().all(|b| b.is_ascii_uppercase());
+    let suf_ok = match suffix {
+        None => true,
+        Some(x) => (1..=2).contains(&x.len()) && x.bytes().all(|b| b.is_ascii_uppercase()),
+    };
+    sym_ok && suf_ok
+}
+
+fn g_ticker(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.8) {
+        gen::pick(rng, gen::TICKERS).to_string()
+    } else {
+        { let n = rng.gen_range(1..=5); gen::upper(rng, n) }
+    }
+}
+
+fn g_aba(rng: &mut StdRng) -> String {
+    // First two digits are a Federal Reserve district (00-12, 21-32, 61-72, 80).
+    loop {
+        let prefix = format!("{:02}", rng.gen_range(1..=12));
+        let body = format!("{prefix}{}", gen::digits(rng, 6));
+        let d: Vec<u32> = body.bytes().map(|b| (b - b'0') as u32).collect();
+        let partial = 3 * (d[0] + d[3] + d[6]) + 7 * (d[1] + d[4] + d[7]) + (d[2] + d[5]);
+        let check = (10 - partial % 10) % 10;
+        let full = format!("{body}{check}");
+        if ck::aba_valid(&full) {
+            return full;
+        }
+    }
+}
+
+fn v_ean(s: &str) -> bool {
+    (s.len() == 13 || s.len() == 8) && ck::gs1_valid(s)
+}
+
+fn g_ean(rng: &mut StdRng) -> String {
+    let n = if rng.gen_bool(0.85) { 12 } else { 7 };
+    let body = gen::digits(rng, n);
+    format!("{body}{}", ck::gs1_check_digit(&body))
+}
+
+fn v_asin(s: &str) -> bool {
+    let b = s.as_bytes();
+    if b.len() != 10 {
+        return false;
+    }
+    if b.starts_with(b"B0") {
+        return b.iter().all(|x| x.is_ascii_digit() || x.is_ascii_uppercase());
+    }
+    ck::isbn10_valid(s)
+}
+
+fn g_asin(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.7) {
+        format!(
+            "B0{}",
+            gen::from_alphabet(rng, "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ", 8)
+        )
+    } else {
+        let body = gen::digits(rng, 9);
+        format!("{body}{}", ck::isbn10_check_char(&body))
+    }
+}
+
+fn g_iban(rng: &mut StdRng) -> String {
+    // (country, BBAN length, BBAN alphabet is digits for simplicity)
+    const COUNTRIES: &[(&str, usize)] = &[
+        ("DE", 18),
+        ("FR", 23),
+        ("GB", 18),
+        ("ES", 20),
+        ("IT", 23),
+        ("NL", 14),
+    ];
+    let (country, len) = COUNTRIES[rng.gen_range(0..COUNTRIES.len())];
+    let bban = if country == "GB" {
+        format!("{}{}", gen::upper(rng, 4), gen::digits(rng, len - 4))
+    } else if country == "NL" {
+        format!("{}{}", gen::upper(rng, 4), gen::digits(rng, len - 4))
+    } else {
+        gen::digits(rng, len)
+    };
+    // Compute the two check digits: remainder of BBAN || CC || "00".
+    let rearranged = format!("{bban}{country}00");
+    let rem = ck::mod97_remainder(&rearranged).expect("alphanumeric BBAN");
+    let check = 98 - rem;
+    format!("{country}{check:02}{bban}")
+}
+
+fn v_bitcoin(s: &str) -> bool {
+    const BASE58: &str = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+    (26..=35).contains(&s.len())
+        && (s.starts_with('1') || s.starts_with('3'))
+        && s.chars().all(|c| BASE58.contains(c))
+}
+
+fn g_bitcoin(rng: &mut StdRng) -> String {
+    const BASE58: &str = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+    let prefix = if rng.gen_bool(0.5) { "1" } else { "3" };
+    format!(
+        "{prefix}{}",
+        {
+            let n = rng.gen_range(25..=33);
+            gen::from_alphabet(rng, BASE58, n)
+        }
+    )
+}
+
+fn v_edifact(s: &str) -> bool {
+    (s.starts_with("UNA") || s.starts_with("UNB+"))
+        && s.contains('+')
+        && s.ends_with('\'')
+}
+
+fn g_edifact(rng: &mut StdRng) -> String {
+    format!(
+        "UNB+UNOA:2+SENDER{}+RECEIVER{}+200101:1200+{}'",
+        gen::digits(rng, 2),
+        gen::digits(rng, 2),
+        gen::digits(rng, 8)
+    )
+}
+
+fn v_fix(s: &str) -> bool {
+    if !s.starts_with("8=FIX.4.") && !s.starts_with("8=FIXT.1.") {
+        return false;
+    }
+    let fields: Vec<&str> = s.split('|').filter(|f| !f.is_empty()).collect();
+    fields.len() >= 4
+        && fields.iter().all(|f| {
+            f.split_once('=')
+                .is_some_and(|(tag, _)| !tag.is_empty() && tag.bytes().all(|b| b.is_ascii_digit()))
+        })
+        && fields.iter().any(|f| f.starts_with("35="))
+}
+
+fn g_fix(rng: &mut StdRng) -> String {
+    let msg_type = gen::pick(rng, &["D", "8", "A", "0", "G"]);
+    format!(
+        "8=FIX.4.2|9={}|35={msg_type}|49=SENDER|56=TARGET|34={}|10={:03}",
+        gen::digits(rng, 3),
+        gen::digits(rng, 3),
+        rng.gen_range(0..256)
+    )
+}
+
+fn v_gtin(s: &str) -> bool {
+    s.len() == 14 && ck::gs1_valid(s)
+}
+
+fn g_gtin(rng: &mut StdRng) -> String {
+    let body = gen::digits(rng, 13);
+    format!("{body}{}", ck::gs1_check_digit(&body))
+}
+
+/// Credit card: Luhn-valid plus a known issuer prefix/length combination
+/// (Visa, MasterCard, Amex, Discover — Figure 2 of the paper).
+pub(crate) fn v_creditcard(s: &str) -> bool {
+    let compact: String = s.chars().filter(|c| *c != ' ' && *c != '-').collect();
+    if !compact.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    let brand_ok = match compact.len() {
+        13 => compact.starts_with('4'),
+        15 => compact.starts_with("34") || compact.starts_with("37"),
+        16 => {
+            compact.starts_with('4')
+                || (compact[..2].parse::<u32>().map(|p| (51..=55).contains(&p)).unwrap_or(false))
+                || compact.starts_with("6011")
+                || compact.starts_with("65")
+        }
+        _ => false,
+    };
+    brand_ok && ck::luhn_valid(&compact)
+}
+
+pub(crate) fn g_creditcard(rng: &mut StdRng) -> String {
+    let (prefix, len) = match rng.gen_range(0..4) {
+        0 => ("4".to_string(), 16),
+        1 => (format!("5{}", rng.gen_range(1..=5)), 16),
+        2 => (if rng.gen_bool(0.5) { "34" } else { "37" }.to_string(), 15),
+        _ => ("6011".to_string(), 16),
+    };
+    let body_len = len - prefix.len() - 1;
+    let body = format!("{prefix}{}", gen::digits(rng, body_len));
+    format!("{body}{}", ck::luhn_check_digit(&body))
+}
+
+fn v_currency(s: &str) -> bool {
+    let s = s.trim();
+    if s.is_empty() {
+        return false;
+    }
+    // Forms: "$1,234.56", "€12.50", "£5", "USD 25.00", "25.00 USD"
+    let (code_or_symbol, number) = if let Some(stripped) =
+        s.strip_prefix(['$', '€', '£', '¥'])
+    {
+        (true, stripped.trim_start())
+    } else if s.len() > 4
+        && s.is_ascii()
+        && gen::CURRENCY_CODES.contains(&&s[..3])
+        && s.as_bytes()[3] == b' '
+    {
+        (true, &s[4..])
+    } else if s.len() > 4
+        && s.is_ascii()
+        && gen::CURRENCY_CODES.contains(&&s[s.len() - 3..])
+        && s.as_bytes()[s.len() - 4] == b' '
+    {
+        (true, &s[..s.len() - 4])
+    } else {
+        (false, s)
+    };
+    if !code_or_symbol {
+        return false;
+    }
+    v_money_number(number)
+}
+
+fn v_money_number(n: &str) -> bool {
+    if n.is_empty() {
+        return false;
+    }
+    let (int_part, frac) = match n.split_once('.') {
+        Some((i, f)) => (i, Some(f)),
+        None => (n, None),
+    };
+    if let Some(f) = frac {
+        if f.len() != 2 || !f.bytes().all(|b| b.is_ascii_digit()) {
+            return false;
+        }
+    }
+    // Integer part: digits with optional well-placed thousands separators.
+    if int_part.is_empty() {
+        return false;
+    }
+    if int_part.contains(',') {
+        let groups: Vec<&str> = int_part.split(',').collect();
+        if groups[0].is_empty() || groups[0].len() > 3 {
+            return false;
+        }
+        groups[0].bytes().all(|b| b.is_ascii_digit())
+            && groups[1..]
+                .iter()
+                .all(|g| g.len() == 3 && g.bytes().all(|b| b.is_ascii_digit()))
+    } else {
+        int_part.bytes().all(|b| b.is_ascii_digit())
+    }
+}
+
+fn g_currency(rng: &mut StdRng) -> String {
+    let amount = rng.gen_range(1..1_000_000);
+    let cents = rng.gen_range(0..100);
+    let with_thousands = |n: i64| -> String {
+        let s = n.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out
+    };
+    match rng.gen_range(0..4) {
+        0 => format!("${}.{cents:02}", with_thousands(amount)),
+        1 => format!("€{}.{cents:02}", amount),
+        2 => format!("{} {}.{cents:02}", gen::pick(rng, gen::CURRENCY_CODES), amount),
+        _ => format!("£{}", with_thousands(amount)),
+    }
+}
+
+fn v_swift(s: &str) -> bool {
+    // MT-style block format: {1:F01<BIC12>...}{2:...}
+    if !s.starts_with("{1:F01") {
+        return false;
+    }
+    let Some(close) = s.find('}') else {
+        return false;
+    };
+    let block1 = &s[4..close];
+    block1.len() >= 12
+        && block1[..8].bytes().all(|b| b.is_ascii_alphanumeric())
+        && s[close..].starts_with("}{2:")
+}
+
+fn g_swift(rng: &mut StdRng) -> String {
+    let bic = format!(
+        "{}{}{}",
+        gen::upper(rng, 4),
+        gen::pick(rng, gen::COUNTRY_CODES_2),
+        gen::upper(rng, 2)
+    );
+    let mt = gen::pick(rng, &["103", "202", "950", "940"]);
+    format!(
+        "{{1:F01{bic}AXXX{}}}{{2:I{mt}{bic}XXXXN}}{{4::20:{}:32A:200101USD{},00-}}",
+        gen::digits(rng, 10),
+        gen::digits(rng, 8),
+        gen::digits(rng, 4),
+    )
+}
+
+fn v_nato(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('-').collect();
+    parts.len() == 4
+        && parts[0].len() == 4
+        && parts[1].len() == 2
+        && parts[2].len() == 3
+        && parts[3].len() == 4
+        && parts.iter().all(|p| p.bytes().all(|b| b.is_ascii_digit()))
+}
+
+fn g_nato(rng: &mut StdRng) -> String {
+    format!(
+        "{}-{}-{}-{}",
+        gen::digits(rng, 4),
+        gen::digits(rng, 2),
+        gen::digits(rng, 3),
+        gen::digits(rng, 4)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn creditcard_brands() {
+        assert!(v_creditcard("4147202263232835")); // Visa 16
+        assert!(v_creditcard("371449635398431")); // Amex 15
+        assert!(v_creditcard("6011016011016011")); // Discover
+        assert!(!v_creditcard("1234567812345670")); // Luhn ok but no brand
+        assert!(!v_creditcard("4147202263232836")); // bad checksum
+    }
+
+    #[test]
+    fn creditcard_accepts_separators() {
+        assert!(v_creditcard("4147 2022 6323 2835"));
+        assert!(v_creditcard("4147-2022-6323-2835"));
+    }
+
+    #[test]
+    fn currency_forms() {
+        assert!(v_currency("$1,234.56"));
+        assert!(v_currency("USD 25.00"));
+        assert!(v_currency("€12.50"));
+        assert!(v_currency("£5"));
+        assert!(v_currency("25.00 USD"));
+        assert!(!v_currency("1,234.56")); // no symbol/code
+        assert!(!v_currency("$12,34.56")); // bad grouping
+        assert!(!v_currency("$1.2.3"));
+    }
+
+    #[test]
+    fn iban_generator_round_trips() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let iban = g_iban(&mut rng);
+            assert!(ck::iban_valid(&iban), "generated invalid IBAN {iban}");
+        }
+    }
+
+    #[test]
+    fn fix_message_shape() {
+        assert!(v_fix("8=FIX.4.2|9=100|35=D|49=A|56=B|10=128"));
+        assert!(!v_fix("9=100|35=D"));
+        assert!(!v_fix("8=FIX.4.2|9=100|49=A")); // no 35 tag
+    }
+
+    #[test]
+    fn ticker_shapes() {
+        assert!(v_ticker("AAPL"));
+        assert!(v_ticker("BRK.B"));
+        assert!(!v_ticker("aapl"));
+        assert!(!v_ticker("TOOLONG"));
+    }
+
+    #[test]
+    fn swift_block_format() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let msg = g_swift(&mut rng);
+        assert!(v_swift(&msg), "{msg}");
+        assert!(!v_swift("SWIFT is a programming language"));
+    }
+}

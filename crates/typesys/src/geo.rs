@@ -1,0 +1,549 @@
+//! Geo-location semantic types: 14 types.
+
+use crate::checksums as ck;
+use crate::gen;
+use crate::registry::{Coverage, Domain, Spec};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn types() -> Vec<Spec> {
+    vec![
+        Spec {
+            name: "longitude/latitude",
+            slug: "longlat",
+            domain: Domain::Geo,
+            keywords: &["longitude latitude", "lat long coordinates"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_longlat,
+            generate: g_longlat,
+        },
+        Spec {
+            name: "US zipcode",
+            slug: "zipcode",
+            domain: Domain::Geo,
+            keywords: &["US zipcode", "zipcode", "US postal code"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_zipcode,
+            generate: g_zipcode,
+        },
+        Spec {
+            name: "UK postal code",
+            slug: "ukpostcode",
+            domain: Domain::Geo,
+            keywords: &["UK postal code", "UK postcode"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_ukpostcode,
+            generate: g_ukpostcode,
+        },
+        Spec {
+            name: "Canada postal code",
+            slug: "capostcode",
+            domain: Domain::Geo,
+            keywords: &["Canada postal code", "Canadian postcode"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_capostcode,
+            generate: g_capostcode,
+        },
+        Spec {
+            name: "MGRS coordinate",
+            slug: "mgrs",
+            domain: Domain::Geo,
+            keywords: &["MGRS coordinate", "military grid reference"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_mgrs,
+            generate: g_mgrs,
+        },
+        Spec {
+            name: "USNG coordinate",
+            slug: "usng",
+            domain: Domain::Geo,
+            keywords: &["USNG coordinates", "US national grid"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_usng,
+            generate: g_usng,
+        },
+        Spec {
+            name: "Global Location Number",
+            slug: "gln",
+            domain: Domain::Geo,
+            keywords: &["Global Location Number", "GLN"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_gln,
+            generate: g_gln,
+        },
+        Spec {
+            name: "UTM coordinate",
+            slug: "utm",
+            domain: Domain::Geo,
+            keywords: &["UTM coordinates", "universal transverse mercator"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_utm,
+            generate: g_utm,
+        },
+        Spec {
+            name: "airport code",
+            slug: "airport",
+            domain: Domain::Geo,
+            keywords: &["airport code", "IATA code"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_airport,
+            generate: g_airport,
+        },
+        Spec {
+            name: "US state abbreviation",
+            slug: "usstate",
+            domain: Domain::Geo,
+            keywords: &["us state abbreviation", "state code"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_usstate,
+            generate: g_usstate,
+        },
+        Spec {
+            name: "country code",
+            slug: "country",
+            domain: Domain::Geo,
+            keywords: &["country code", "ISO country code"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_country,
+            generate: g_country,
+        },
+        Spec {
+            name: "GeoJSON",
+            slug: "geojson",
+            domain: Domain::Geo,
+            keywords: &["geojson", "geo json geometry"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_geojson,
+            generate: g_geojson,
+        },
+        Spec {
+            name: "TAF message",
+            slug: "taf",
+            domain: Domain::Geo,
+            keywords: &["TAF message", "terminal aerodrome forecast"],
+            coverage: Coverage::UnsupportedInvocation,
+            popular: false,
+            validate: v_taf,
+            generate: g_taf,
+        },
+        Spec {
+            name: "International Geo Sample Number",
+            slug: "igsn",
+            domain: Domain::Geo,
+            keywords: &["International Geo Sample Number", "IGSN"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_igsn,
+            generate: g_igsn,
+        },
+    ]
+}
+
+fn parse_f64(s: &str) -> Option<f64> {
+    if s.is_empty() {
+        return None;
+    }
+    let body = s.strip_prefix('-').unwrap_or(s);
+    if body.is_empty() || !body.bytes().all(|b| b.is_ascii_digit() || b == b'.') {
+        return None;
+    }
+    if body.matches('.').count() > 1 {
+        return None;
+    }
+    s.parse().ok()
+}
+
+fn v_longlat(s: &str) -> bool {
+    let parts: Vec<&str> = s.split(',').map(|p| p.trim()).collect();
+    if parts.len() != 2 {
+        return false;
+    }
+    let (Some(lat), Some(lon)) = (parse_f64(parts[0]), parse_f64(parts[1])) else {
+        return false;
+    };
+    // Require a decimal point so plain integer pairs don't match.
+    (-90.0..=90.0).contains(&lat)
+        && (-180.0..=180.0).contains(&lon)
+        && parts.iter().any(|p| p.contains('.'))
+}
+
+fn g_longlat(rng: &mut StdRng) -> String {
+    let lat = rng.gen_range(-90_0000..=90_0000) as f64 / 10_000.0;
+    let lon = rng.gen_range(-180_0000..=180_0000) as f64 / 10_000.0;
+    format!("{lat:.4}, {lon:.4}")
+}
+
+pub(crate) fn v_zipcode(s: &str) -> bool {
+    match s.split_once('-') {
+        None => s.len() == 5 && s.bytes().all(|b| b.is_ascii_digit()),
+        Some((z, plus4)) => {
+            z.len() == 5
+                && plus4.len() == 4
+                && z.bytes().all(|b| b.is_ascii_digit())
+                && plus4.bytes().all(|b| b.is_ascii_digit())
+        }
+    }
+}
+
+pub(crate) fn g_zipcode(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.8) {
+        gen::digits(rng, 5)
+    } else {
+        format!("{}-{}", gen::digits(rng, 5), gen::digits(rng, 4))
+    }
+}
+
+fn v_ukpostcode(s: &str) -> bool {
+    // Outward: A9, A99, AA9, AA99, A9A, AA9A; inward: 9AA.
+    let Some((out, inw)) = s.split_once(' ') else {
+        return false;
+    };
+    let ob = out.as_bytes();
+    let outward_ok = match ob.len() {
+        2 => ob[0].is_ascii_uppercase() && ob[1].is_ascii_digit(),
+        3 => {
+            (ob[0].is_ascii_uppercase() && ob[1].is_ascii_digit() && ob[2].is_ascii_digit())
+                || (ob[0].is_ascii_uppercase()
+                    && ob[1].is_ascii_uppercase()
+                    && ob[2].is_ascii_digit())
+                || (ob[0].is_ascii_uppercase()
+                    && ob[1].is_ascii_digit()
+                    && ob[2].is_ascii_uppercase())
+        }
+        4 => {
+            ob[0].is_ascii_uppercase()
+                && ob[1].is_ascii_uppercase()
+                && ob[2].is_ascii_digit()
+                && (ob[3].is_ascii_digit() || ob[3].is_ascii_uppercase())
+        }
+        _ => false,
+    };
+    let ib = inw.as_bytes();
+    outward_ok
+        && ib.len() == 3
+        && ib[0].is_ascii_digit()
+        && ib[1].is_ascii_uppercase()
+        && ib[2].is_ascii_uppercase()
+}
+
+fn g_ukpostcode(rng: &mut StdRng) -> String {
+    const AREAS: &[&str] = &["SW", "EC", "N", "E", "W", "NW", "SE", "M", "B", "LS", "G", "EH"];
+    let area = gen::pick(rng, AREAS);
+    let district = rng.gen_range(1..=20);
+    format!(
+        "{area}{district} {}{}",
+        rng.gen_range(0..10),
+        gen::from_alphabet(rng, "ABDEFGHJLNPQRSTUWXYZ", 2)
+    )
+}
+
+fn v_capostcode(s: &str) -> bool {
+    let compact: String = s.chars().filter(|c| *c != ' ').collect();
+    let b = compact.as_bytes();
+    const INVALID: &[u8] = b"DFIOQU";
+    b.len() == 6
+        && b[0].is_ascii_uppercase()
+        && !INVALID.contains(&b[0])
+        && b[0] != b'W'
+        && b[0] != b'Z'
+        && b[1].is_ascii_digit()
+        && b[2].is_ascii_uppercase()
+        && !INVALID.contains(&b[2])
+        && b[3].is_ascii_digit()
+        && b[4].is_ascii_uppercase()
+        && !INVALID.contains(&b[4])
+        && b[5].is_ascii_digit()
+}
+
+fn g_capostcode(rng: &mut StdRng) -> String {
+    const FIRST: &str = "ABCEGHJKLMNPRSTVXY";
+    const LETTERS: &str = "ABCEGHJKLMNPRSTVWXYZ";
+    format!(
+        "{}{}{} {}{}{}",
+        gen::from_alphabet(rng, FIRST, 1),
+        rng.gen_range(0..10),
+        gen::from_alphabet(rng, LETTERS, 1),
+        rng.gen_range(0..10),
+        gen::from_alphabet(rng, LETTERS, 1),
+        rng.gen_range(0..10)
+    )
+}
+
+fn v_mgrs(s: &str) -> bool {
+    let compact: String = s.chars().filter(|c| *c != ' ').collect();
+    let b = compact.as_bytes();
+    if b.len() < 5 {
+        return false;
+    }
+    // Zone: 1-2 digits.
+    let zone_len = if b[0].is_ascii_digit() && b.len() > 1 && b[1].is_ascii_digit() {
+        2
+    } else if b[0].is_ascii_digit() {
+        1
+    } else {
+        return false;
+    };
+    let zone: u32 = compact[..zone_len].parse().unwrap_or(0);
+    if !(1..=60).contains(&zone) {
+        return false;
+    }
+    let rest = &b[zone_len..];
+    if rest.len() < 3 {
+        return false;
+    }
+    const BAND: &[u8] = b"CDEFGHJKLMNPQRSTUVWX";
+    if !BAND.contains(&rest[0]) {
+        return false;
+    }
+    if !rest[1].is_ascii_uppercase() || !rest[2].is_ascii_uppercase() {
+        return false;
+    }
+    let digits = &rest[3..];
+    digits.len().is_multiple_of(2)
+        && digits.len() <= 10
+        && digits.iter().all(|x| x.is_ascii_digit())
+        && !digits.is_empty()
+}
+
+fn g_mgrs(rng: &mut StdRng) -> String {
+    const BAND: &str = "CDEFGHJKLMNPQRSTUVWX";
+    let precision = gen::pick(rng, &["2", "4", "6", "8", "10"]);
+    let n: usize = precision.parse().unwrap();
+    format!(
+        "{}{}{}{}",
+        rng.gen_range(1..=60),
+        gen::from_alphabet(rng, BAND, 1),
+        gen::from_alphabet(rng, "ABCDEFGHJKLMNPQRSTUVWXYZ", 2),
+        gen::digits(rng, n)
+    )
+}
+
+fn v_usng(s: &str) -> bool {
+    // USNG is MGRS with spaces between components.
+    let parts: Vec<&str> = s.split(' ').collect();
+    if parts.len() != 4 {
+        return false;
+    }
+    v_mgrs(&parts.concat()) && parts[2].len() == parts[3].len()
+}
+
+fn g_usng(rng: &mut StdRng) -> String {
+    const BAND: &str = "CDEFGHJKLMNPQRSTUVWX";
+    let n = gen::pick(rng, &["4", "5"]);
+    let n: usize = n.parse().unwrap();
+    format!(
+        "{}{} {} {} {}",
+        rng.gen_range(1..=60),
+        gen::from_alphabet(rng, BAND, 1),
+        gen::from_alphabet(rng, "ABCDEFGHJKLMNPQRSTUVWXYZ", 2),
+        gen::digits(rng, n),
+        gen::digits(rng, n)
+    )
+}
+
+fn v_gln(s: &str) -> bool {
+    s.len() == 13 && ck::gs1_valid(s)
+}
+
+fn g_gln(rng: &mut StdRng) -> String {
+    let body = gen::digits(rng, 12);
+    format!("{body}{}", ck::gs1_check_digit(&body))
+}
+
+fn v_utm(s: &str) -> bool {
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    if parts.len() != 3 {
+        return false;
+    }
+    let zone_band = parts[0].as_bytes();
+    if zone_band.len() < 2 || zone_band.len() > 3 {
+        return false;
+    }
+    let (zone_digits, band) = zone_band.split_at(zone_band.len() - 1);
+    const BAND: &[u8] = b"CDEFGHJKLMNPQRSTUVWX";
+    let zone: u32 = std::str::from_utf8(zone_digits)
+        .ok()
+        .and_then(|z| z.parse().ok())
+        .unwrap_or(0);
+    (1..=60).contains(&zone)
+        && BAND.contains(&band[0])
+        && (5..=7).contains(&parts[1].len())
+        && parts[1].bytes().all(|b| b.is_ascii_digit())
+        && (6..=8).contains(&parts[2].len())
+        && parts[2].bytes().all(|b| b.is_ascii_digit())
+}
+
+fn g_utm(rng: &mut StdRng) -> String {
+    const BAND: &str = "CDEFGHJKLMNPQRSTUVWX";
+    format!(
+        "{}{} {} {}",
+        rng.gen_range(1..=60),
+        gen::from_alphabet(rng, BAND, 1),
+        rng.gen_range(100_000..999_999),
+        rng.gen_range(1_000_000..9_999_999)
+    )
+}
+
+fn v_airport(s: &str) -> bool {
+    gen::AIRPORT_CODES.contains(&s)
+}
+
+fn g_airport(rng: &mut StdRng) -> String {
+    gen::pick(rng, gen::AIRPORT_CODES).to_string()
+}
+
+fn v_usstate(s: &str) -> bool {
+    gen::US_STATES.contains(&s)
+}
+
+fn g_usstate(rng: &mut StdRng) -> String {
+    gen::pick(rng, gen::US_STATES).to_string()
+}
+
+pub(crate) fn v_country(s: &str) -> bool {
+    gen::COUNTRY_CODES_2.contains(&s)
+        || gen::COUNTRY_CODES_3.contains(&s)
+        || gen::COUNTRY_NAMES.contains(&s)
+}
+
+pub(crate) fn g_country(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3) {
+        0 => gen::pick(rng, gen::COUNTRY_CODES_2).to_string(),
+        1 => gen::pick(rng, gen::COUNTRY_CODES_3).to_string(),
+        _ => gen::pick(rng, gen::COUNTRY_NAMES).to_string(),
+    }
+}
+
+fn v_geojson(s: &str) -> bool {
+    if !crate::other::v_json(s) {
+        return false;
+    }
+    const GEOMETRY_TYPES: &[&str] = &[
+        "\"Point\"",
+        "\"LineString\"",
+        "\"Polygon\"",
+        "\"MultiPoint\"",
+        "\"MultiLineString\"",
+        "\"MultiPolygon\"",
+        "\"Feature\"",
+        "\"FeatureCollection\"",
+        "\"GeometryCollection\"",
+    ];
+    s.contains("\"type\"") && GEOMETRY_TYPES.iter().any(|t| s.contains(t))
+}
+
+fn g_geojson(rng: &mut StdRng) -> String {
+    let lon = rng.gen_range(-180_00..180_00) as f64 / 100.0;
+    let lat = rng.gen_range(-90_00..90_00) as f64 / 100.0;
+    match rng.gen_range(0..3) {
+        0 => format!("{{\"type\": \"Point\", \"coordinates\": [{lon:.2}, {lat:.2}]}}"),
+        1 => format!(
+            "{{\"type\": \"LineString\", \"coordinates\": [[{lon:.2}, {lat:.2}], [{:.2}, {:.2}]]}}",
+            lon + 1.0,
+            lat + 1.0
+        ),
+        _ => format!(
+            "{{\"type\": \"Feature\", \"geometry\": {{\"type\": \"Point\", \"coordinates\": [{lon:.2}, {lat:.2}]}}, \"properties\": {{}}}}"
+        ),
+    }
+}
+
+fn v_taf(s: &str) -> bool {
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    parts.len() >= 4
+        && parts[0] == "TAF"
+        && parts[1].len() == 4
+        && parts[1].bytes().all(|b| b.is_ascii_uppercase())
+        && parts[2].ends_with('Z')
+        && parts[2].len() == 7
+        && parts[2][..6].bytes().all(|b| b.is_ascii_digit())
+}
+
+fn g_taf(rng: &mut StdRng) -> String {
+    let station = format!("K{}", gen::pick(rng, gen::AIRPORT_CODES));
+    let day = rng.gen_range(1..=28);
+    let hour = rng.gen_range(0..24);
+    format!(
+        "TAF {station} {day:02}{hour:02}30Z {day:02}{hour:02}/{:02}{:02} {:03}{:02}KT P6SM SCT035",
+        (day % 28) + 1,
+        hour,
+        rng.gen_range(1..36) * 10,
+        rng.gen_range(3..25)
+    )
+}
+
+fn v_igsn(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix("IGSN") else {
+        return false;
+    };
+    let rest = rest.strip_prefix(':').unwrap_or(rest).trim_start();
+    (5..=9).contains(&rest.len())
+        && rest
+            .bytes()
+            .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit())
+}
+
+fn g_igsn(rng: &mut StdRng) -> String {
+    format!(
+        "IGSN{}",
+        { let n = rng.gen_range(5..=9); gen::from_alphabet(rng, "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", n) }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipcodes() {
+        assert!(v_zipcode("98052"));
+        assert!(v_zipcode("98052-1234"));
+        assert!(!v_zipcode("9805"));
+        assert!(!v_zipcode("98052-123"));
+    }
+
+    #[test]
+    fn uk_and_ca_postcodes() {
+        assert!(v_ukpostcode("SW1A 1AA"));
+        assert!(v_ukpostcode("M1 1AE"));
+        assert!(v_ukpostcode("EC1A 1BB"));
+        assert!(!v_ukpostcode("SW1A1AA"));
+        assert!(v_capostcode("K1A 0B1"));
+        assert!(!v_capostcode("D1A 0B1")); // D invalid first letter
+    }
+
+    #[test]
+    fn longlat_ranges() {
+        assert!(v_longlat("47.6062, -122.3321"));
+        assert!(!v_longlat("97.6062, -122.3321")); // lat out of range
+        assert!(!v_longlat("47.6062"));
+        assert!(!v_longlat("47, 122")); // no decimal point
+    }
+
+    #[test]
+    fn utm_and_mgrs() {
+        assert!(v_utm("17T 630084 4833438"));
+        assert!(!v_utm("77Y 630084 4833438")); // zone > 60
+        assert!(v_mgrs("33TWN0002910432"));
+        assert!(v_usng("18S UJ 2348 0647"));
+        assert!(!v_mgrs("33AWN0002910432")); // A not a band
+    }
+
+    #[test]
+    fn taf_header() {
+        assert!(v_taf("TAF KJFK 041730Z 0418/0524 31008KT P6SM SCT035"));
+        assert!(!v_taf("METAR KJFK 041730Z"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Health-domain semantic types: 8 types.
+
+use crate::gen;
+use crate::registry::{Coverage, Domain, Spec};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn types() -> Vec<Spec> {
+    vec![
+        Spec {
+            name: "drug name",
+            slug: "drugname",
+            domain: Domain::Health,
+            keywords: &["drug name", "medication name"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_drugname,
+            generate: g_drugname,
+        },
+        Spec {
+            name: "DEA number",
+            slug: "dea",
+            domain: Domain::Health,
+            keywords: &["DEA number", "DEA registration"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_dea,
+            generate: g_dea,
+        },
+        Spec {
+            name: "ICD-9 code",
+            slug: "icd9",
+            domain: Domain::Health,
+            keywords: &["ICD9", "ICD-9 diagnosis code"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_icd9,
+            generate: g_icd9,
+        },
+        Spec {
+            name: "ICD-10 code",
+            slug: "icd10",
+            domain: Domain::Health,
+            keywords: &["ICD10", "ICD-10 diagnosis code"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_icd10,
+            generate: g_icd10,
+        },
+        Spec {
+            name: "HL7 message",
+            slug: "hl7",
+            domain: Domain::Health,
+            keywords: &["HL7 message", "HL7 v2"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_hl7,
+            generate: g_hl7,
+        },
+        Spec {
+            name: "HCPCS code",
+            slug: "hcpcs",
+            domain: Domain::Health,
+            keywords: &["HCPCS code", "healthcare procedure code"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_hcpcs,
+            generate: g_hcpcs,
+        },
+        Spec {
+            name: "FDA drug code",
+            slug: "ndc",
+            domain: Domain::Health,
+            keywords: &["FDA drug code", "NDC national drug code"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_ndc,
+            generate: g_ndc,
+        },
+        Spec {
+            name: "Active Ingredient Group number",
+            slug: "aig",
+            domain: Domain::Health,
+            keywords: &["active ingredient group", "AIG number"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_aig,
+            generate: g_aig,
+        },
+    ]
+}
+
+fn v_drugname(s: &str) -> bool {
+    gen::DRUG_NAMES
+        .iter()
+        .any(|d| d.eq_ignore_ascii_case(s.trim()))
+}
+
+fn g_drugname(rng: &mut StdRng) -> String {
+    gen::pick(rng, gen::DRUG_NAMES).to_string()
+}
+
+/// DEA: two letters (registrant type + last-name initial) + 7 digits, where
+/// `(d1+d3+d5) + 2*(d2+d4+d6)` has units digit `d7`.
+fn v_dea(s: &str) -> bool {
+    let b = s.as_bytes();
+    if b.len() != 9 {
+        return false;
+    }
+    if !b"ABFGMPRX".contains(&b[0]) || !b[1].is_ascii_uppercase() {
+        return false;
+    }
+    if !b[2..].iter().all(|x| x.is_ascii_digit()) {
+        return false;
+    }
+    let d: Vec<u32> = b[2..].iter().map(|x| (x - b'0') as u32).collect();
+    let sum = (d[0] + d[2] + d[4]) + 2 * (d[1] + d[3] + d[5]);
+    sum % 10 == d[6]
+}
+
+fn g_dea(rng: &mut StdRng) -> String {
+    let t = gen::pick(rng, &["A", "B", "F", "G", "M", "P", "R"]);
+    let initial = gen::upper(rng, 1);
+    let body = gen::digits(rng, 6);
+    let d: Vec<u32> = body.bytes().map(|x| (x - b'0') as u32).collect();
+    let check = ((d[0] + d[2] + d[4]) + 2 * (d[1] + d[3] + d[5])) % 10;
+    format!("{t}{initial}{body}{check}")
+}
+
+fn v_icd9(s: &str) -> bool {
+    let (head, tail) = match s.split_once('.') {
+        Some((h, t)) => (h, Some(t)),
+        None => (s, None),
+    };
+    let head_ok = match head.as_bytes() {
+        [b'E', rest @ ..] => rest.len() == 3 && rest.iter().all(|b| b.is_ascii_digit()),
+        [b'V', rest @ ..] => rest.len() == 2 && rest.iter().all(|b| b.is_ascii_digit()),
+        digits => digits.len() == 3 && digits.iter().all(|b| b.is_ascii_digit()),
+    };
+    let tail_ok = match tail {
+        None => true,
+        Some(t) => (1..=2).contains(&t.len()) && t.bytes().all(|b| b.is_ascii_digit()),
+    };
+    head_ok && tail_ok
+}
+
+fn g_icd9(rng: &mut StdRng) -> String {
+    let head = match rng.gen_range(0..10) {
+        0 => format!("E{}", gen::digits(rng, 3)),
+        1 => format!("V{}", gen::digits(rng, 2)),
+        _ => gen::digits(rng, 3),
+    };
+    if rng.gen_bool(0.6) {
+        format!("{head}.{}", { let n = rng.gen_range(1..=2); gen::digits(rng, n) })
+    } else {
+        head
+    }
+}
+
+fn v_icd10(s: &str) -> bool {
+    let (head, tail) = match s.split_once('.') {
+        Some((h, t)) => (h, Some(t)),
+        None => (s, None),
+    };
+    let hb = head.as_bytes();
+    let head_ok = hb.len() == 3
+        && hb[0].is_ascii_uppercase()
+        && hb[0] != b'U'
+        && hb[1].is_ascii_digit()
+        && (hb[2].is_ascii_digit() || hb[2].is_ascii_uppercase());
+    let tail_ok = match tail {
+        None => true,
+        Some(t) => {
+            (1..=4).contains(&t.len()) && t.bytes().all(|b| b.is_ascii_alphanumeric())
+        }
+    };
+    head_ok && tail_ok
+}
+
+fn g_icd10(rng: &mut StdRng) -> String {
+    let letter = gen::from_alphabet(rng, "ABCDEFGHIJKLMNOPQRSTVWXYZ", 1);
+    let head = format!("{letter}{}", gen::digits(rng, 2));
+    if rng.gen_bool(0.7) {
+        format!("{head}.{}", { let n = rng.gen_range(1..=3); gen::digits(rng, n) })
+    } else {
+        head
+    }
+}
+
+fn v_hl7(s: &str) -> bool {
+    s.starts_with("MSH|^~\\&|") && s.split('|').count() >= 8
+}
+
+fn g_hl7(rng: &mut StdRng) -> String {
+    let app = gen::pick(rng, &["EPIC", "CERNER", "LAB", "ADT1", "MEDITECH"]);
+    let date = format!(
+        "20{:02}{:02}{:02}1200",
+        rng.gen_range(10..24),
+        rng.gen_range(1..13),
+        rng.gen_range(1..29)
+    );
+    format!(
+        "MSH|^~\\&|{app}|HOSP|RCV|FAC|{date}||ADT^A01|MSG{}|P|2.3",
+        gen::digits(rng, 5)
+    )
+}
+
+fn v_hcpcs(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 5
+        && b[0].is_ascii_uppercase()
+        && (b'A'..=b'V').contains(&b[0])
+        && b[1..].iter().all(|x| x.is_ascii_digit())
+}
+
+fn g_hcpcs(rng: &mut StdRng) -> String {
+    format!(
+        "{}{}",
+        gen::from_alphabet(rng, "ABCDEGHJKLMPQRSTV", 1),
+        gen::digits(rng, 4)
+    )
+}
+
+fn v_ndc(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return false;
+    }
+    let lens = (parts[0].len(), parts[1].len(), parts[2].len());
+    matches!(lens, (4..=5, 3..=4, 1..=2))
+        && parts
+            .iter()
+            .all(|p| p.bytes().all(|b| b.is_ascii_digit()))
+}
+
+fn g_ndc(rng: &mut StdRng) -> String {
+    format!(
+        "{}-{}-{}",
+        { let n = rng.gen_range(4..=5); gen::digits(rng, n) },
+        { let n = rng.gen_range(3..=4); gen::digits(rng, n) },
+        { let n = rng.gen_range(1..=2); gen::digits(rng, n) }
+    )
+}
+
+fn v_aig(s: &str) -> bool {
+    // Synthetic stand-in: `AIG` + 7 digits (documented in DESIGN.md).
+    s.strip_prefix("AIG")
+        .map(|d| d.len() == 7 && d.bytes().all(|b| b.is_ascii_digit()))
+        .unwrap_or(false)
+}
+
+fn g_aig(rng: &mut StdRng) -> String {
+    format!("AIG{}", gen::digits(rng, 7))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dea_checksum() {
+        // Classic example: AP5836727 (sum check).
+        assert!(v_dea("AP5836727"));
+        assert!(!v_dea("AP5836726"));
+        assert!(!v_dea("ZP5836727")); // bad registrant type
+    }
+
+    #[test]
+    fn icd_codes() {
+        assert!(v_icd9("250.01"));
+        assert!(v_icd9("V22.1"));
+        assert!(v_icd9("E850"));
+        assert!(!v_icd9("25.01"));
+        assert!(v_icd10("E11.9"));
+        assert!(v_icd10("S72.001A"));
+        assert!(!v_icd10("U07.1")); // U reserved
+    }
+
+    #[test]
+    fn hl7_and_ndc() {
+        assert!(v_hl7("MSH|^~\\&|EPIC|HOSP|RCV|FAC|202001011200||ADT^A01|MSG1|P|2.3"));
+        assert!(!v_hl7("PID|1|12345"));
+        assert!(v_ndc("0777-3105-02"));
+        assert!(!v_ndc("0777-3105"));
+    }
+
+    #[test]
+    fn hcpcs_shape() {
+        assert!(v_hcpcs("J1100"));
+        assert!(!v_hcpcs("W1100")); // W not in A..V? W <= V is false
+        assert!(!v_hcpcs("J110"));
+    }
+}

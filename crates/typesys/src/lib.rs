@@ -1,0 +1,32 @@
+//! # autotype-typesys — ground truth for the 112-type AutoType benchmark
+//!
+//! The AutoType paper (SIGMOD 2018) evaluates on a benchmark of 112 rich
+//! semantic data types (Appendix A). This crate is the reproduction's source
+//! of truth for that benchmark: for every type it provides
+//!
+//! * a **validator** — the oracle used to score synthesized detection logic
+//!   (`Q(F)` holdout scoring in §8.1) and to label web-table columns,
+//! * a **positive-example generator** — the stand-in for the paper's
+//!   "around 20 positive examples taken randomly from the web",
+//! * **search keywords** including the alternates of Appendix I Table 4,
+//! * a **coverage label** reproducing §8.2.2's population: 84 covered types,
+//!   24 without usable code, 4 needing unsupported invocation chains.
+//!
+//! The checksum algorithms these types build on (Luhn, GS1, ISO 7064
+//! mod-97/mod-11-2, VIN, CUSIP, SEDOL, ABA, ...) live in [`checksums`].
+
+pub mod checksums;
+pub mod gen;
+pub mod registry;
+
+mod finance;
+mod geo;
+mod health;
+mod other;
+mod personal;
+mod publication;
+mod science;
+mod tech;
+mod transport;
+
+pub use registry::{by_slug, popular_types, registry, Coverage, Domain, SemanticType, TypeId};

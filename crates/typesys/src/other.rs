@@ -1,0 +1,1021 @@
+//! Miscellaneous ("Other") semantic types: 17 types, including the
+//! structured-text types (JSON, XML, HTML) and the multi-format date-time
+//! type the paper calls out as having several sub-formats (§8.1).
+
+use crate::gen;
+use crate::registry::{Coverage, Domain, Spec};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn types() -> Vec<Spec> {
+    vec![
+        Spec {
+            name: "book name",
+            slug: "bookname",
+            domain: Domain::Other,
+            keywords: &["book name", "book title"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_bookname,
+            generate: g_bookname,
+        },
+        Spec {
+            name: "HEX color",
+            slug: "hexcolor",
+            domain: Domain::Other,
+            keywords: &["HEX color", "hex color code"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_hexcolor,
+            generate: g_hexcolor,
+        },
+        Spec {
+            name: "RGB color",
+            slug: "rgbcolor",
+            domain: Domain::Other,
+            keywords: &["RGB color", "RGB", "RGB color code"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_rgbcolor,
+            generate: g_rgbcolor,
+        },
+        Spec {
+            name: "CMYK color",
+            slug: "cmyk",
+            domain: Domain::Other,
+            keywords: &["CMYK color", "CMYK values"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_cmyk,
+            generate: g_cmyk,
+        },
+        Spec {
+            name: "HSL color",
+            slug: "hsl",
+            domain: Domain::Other,
+            keywords: &["HSL color", "HSL values"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_hsl,
+            generate: g_hsl,
+        },
+        Spec {
+            name: "UNIX time",
+            slug: "unixtime",
+            domain: Domain::Other,
+            keywords: &["UNIX time", "epoch timestamp"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_unixtime,
+            generate: g_unixtime,
+        },
+        Spec {
+            name: "HTTP status code",
+            slug: "httpstatus",
+            domain: Domain::Other,
+            keywords: &["http status code", "HTTP response code"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_httpstatus,
+            generate: g_httpstatus,
+        },
+        Spec {
+            name: "Roman numeral",
+            slug: "roman",
+            domain: Domain::Other,
+            keywords: &["roman number", "roman numeral"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_roman,
+            generate: g_roman,
+        },
+        Spec {
+            name: "HTML",
+            slug: "html",
+            domain: Domain::Other,
+            keywords: &["HTML", "HTML markup"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_html,
+            generate: g_html,
+        },
+        Spec {
+            name: "JSON",
+            slug: "json",
+            domain: Domain::Other,
+            keywords: &["JSON", "JSON document"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_json,
+            generate: g_json,
+        },
+        Spec {
+            name: "XML",
+            slug: "xml",
+            domain: Domain::Other,
+            keywords: &["XML", "XML document"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_xml,
+            generate: g_xml,
+        },
+        Spec {
+            name: "date time",
+            slug: "datetime",
+            domain: Domain::Other,
+            keywords: &["date time", "datetime parser"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_datetime,
+            generate: g_datetime,
+        },
+        Spec {
+            name: "SQL statement",
+            slug: "sql",
+            domain: Domain::Other,
+            keywords: &["SQL statement", "SQL query"],
+            coverage: Coverage::UnsupportedInvocation,
+            popular: false,
+            validate: v_sql,
+            generate: g_sql,
+        },
+        Spec {
+            name: "Reuters instrument code",
+            slug: "ric",
+            domain: Domain::Other,
+            keywords: &["Reuters instrument code", "RIC"],
+            coverage: Coverage::UnsupportedInvocation,
+            popular: false,
+            validate: v_ric,
+            generate: g_ric,
+        },
+        Spec {
+            name: "OID number",
+            slug: "oid",
+            domain: Domain::Other,
+            keywords: &["OID number", "object identifier"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_oid,
+            generate: g_oid,
+        },
+        Spec {
+            name: "GUID",
+            slug: "guid",
+            domain: Domain::Other,
+            keywords: &["Global Unique Identifier", "GUID", "UUID"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_guid,
+            generate: g_guid,
+        },
+        Spec {
+            name: "ISNI",
+            slug: "isni",
+            domain: Domain::Other,
+            keywords: &["International Standard Name Identifier", "ISNI"],
+            coverage: Coverage::UnsupportedInvocation,
+            popular: false,
+            validate: v_isni,
+            generate: g_isni,
+        },
+    ]
+}
+
+fn v_bookname(s: &str) -> bool {
+    gen::BOOK_TITLES.contains(&s)
+}
+
+fn g_bookname(rng: &mut StdRng) -> String {
+    gen::pick(rng, gen::BOOK_TITLES).to_string()
+}
+
+fn v_hexcolor(s: &str) -> bool {
+    let Some(hex) = s.strip_prefix('#') else {
+        return false;
+    };
+    (hex.len() == 6 || hex.len() == 3) && hex.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+fn g_hexcolor(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.85) {
+        format!("#{}", gen::hex(rng, 6))
+    } else {
+        format!("#{}", gen::hex(rng, 3))
+    }
+}
+
+fn component_0_255(p: &str) -> bool {
+    let p = p.trim();
+    !p.is_empty()
+        && p.len() <= 3
+        && p.bytes().all(|b| b.is_ascii_digit())
+        && p.parse::<u32>().map(|v| v <= 255).unwrap_or(false)
+}
+
+fn v_rgbcolor(s: &str) -> bool {
+    let inner = if let Some(rest) = s.strip_prefix("rgb(") {
+        match rest.strip_suffix(')') {
+            Some(i) => i,
+            None => return false,
+        }
+    } else {
+        s
+    };
+    let parts: Vec<&str> = inner.split(',').collect();
+    parts.len() == 3 && parts.iter().all(|p| component_0_255(p))
+}
+
+fn g_rgbcolor(rng: &mut StdRng) -> String {
+    let (r, g, b) = (
+        rng.gen_range(0..256),
+        rng.gen_range(0..256),
+        rng.gen_range(0..256),
+    );
+    if rng.gen_bool(0.7) {
+        format!("rgb({r}, {g}, {b})")
+    } else {
+        format!("{r},{g},{b}")
+    }
+}
+
+fn percent_component(p: &str, max: u32) -> bool {
+    let p = p.trim();
+    let Some(num) = p.strip_suffix('%') else {
+        return false;
+    };
+    !num.is_empty()
+        && num.bytes().all(|b| b.is_ascii_digit())
+        && num.parse::<u32>().map(|v| v <= max).unwrap_or(false)
+}
+
+fn v_cmyk(s: &str) -> bool {
+    let inner = if let Some(rest) = s.strip_prefix("cmyk(") {
+        match rest.strip_suffix(')') {
+            Some(i) => i,
+            None => return false,
+        }
+    } else {
+        return false;
+    };
+    let parts: Vec<&str> = inner.split(',').collect();
+    parts.len() == 4 && parts.iter().all(|p| percent_component(p, 100))
+}
+
+fn g_cmyk(rng: &mut StdRng) -> String {
+    format!(
+        "cmyk({}%, {}%, {}%, {}%)",
+        rng.gen_range(0..=100),
+        rng.gen_range(0..=100),
+        rng.gen_range(0..=100),
+        rng.gen_range(0..=100)
+    )
+}
+
+fn v_hsl(s: &str) -> bool {
+    let inner = if let Some(rest) = s.strip_prefix("hsl(") {
+        match rest.strip_suffix(')') {
+            Some(i) => i,
+            None => return false,
+        }
+    } else {
+        return false;
+    };
+    let parts: Vec<&str> = inner.split(',').collect();
+    if parts.len() != 3 {
+        return false;
+    }
+    let hue = parts[0].trim();
+    hue.bytes().all(|b| b.is_ascii_digit())
+        && hue.parse::<u32>().map(|v| v <= 360).unwrap_or(false)
+        && percent_component(parts[1], 100)
+        && percent_component(parts[2], 100)
+}
+
+fn g_hsl(rng: &mut StdRng) -> String {
+    format!(
+        "hsl({}, {}%, {}%)",
+        rng.gen_range(0..=360),
+        rng.gen_range(0..=100),
+        rng.gen_range(0..=100)
+    )
+}
+
+fn v_unixtime(s: &str) -> bool {
+    if !(9..=10).contains(&s.len()) || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    let v: u64 = s.parse().unwrap_or(0);
+    // ~1973 .. ~2038.
+    (100_000_000..=2_200_000_000).contains(&v)
+}
+
+fn g_unixtime(rng: &mut StdRng) -> String {
+    rng.gen_range(100_000_000u64..2_000_000_000).to_string()
+}
+
+fn v_httpstatus(s: &str) -> bool {
+    gen::HTTP_STATUS.contains(&s)
+}
+
+fn g_httpstatus(rng: &mut StdRng) -> String {
+    gen::pick(rng, gen::HTTP_STATUS).to_string()
+}
+
+pub(crate) fn v_roman(s: &str) -> bool {
+    if s.is_empty() || s.len() > 15 {
+        return false;
+    }
+    let mut rest = s;
+    let mut total_len = 0usize;
+    // M{0,3}
+    let mut m = 0;
+    while rest.starts_with('M') && m < 3 {
+        rest = &rest[1..];
+        m += 1;
+        total_len += 1;
+    }
+    // (CM|CD|D?C{0,3})
+    for (nine, four, five, unit) in [
+        ("CM", "CD", 'D', 'C'),
+        ("XC", "XL", 'L', 'X'),
+        ("IX", "IV", 'V', 'I'),
+    ] {
+        if let Some(r) = rest.strip_prefix(nine) {
+            rest = r;
+            total_len += 2;
+            continue;
+        }
+        if let Some(r) = rest.strip_prefix(four) {
+            rest = r;
+            total_len += 2;
+            continue;
+        }
+        if rest.starts_with(five) {
+            rest = &rest[1..];
+            total_len += 1;
+        }
+        let mut units = 0;
+        while rest.starts_with(unit) && units < 3 {
+            rest = &rest[1..];
+            units += 1;
+            total_len += 1;
+        }
+    }
+    rest.is_empty() && total_len == s.len()
+}
+
+pub(crate) fn g_roman(rng: &mut StdRng) -> String {
+    let mut n: u32 = rng.gen_range(1..=3999);
+    let mut out = String::new();
+    for (value, sym) in [
+        (1000, "M"),
+        (900, "CM"),
+        (500, "D"),
+        (400, "CD"),
+        (100, "C"),
+        (90, "XC"),
+        (50, "L"),
+        (40, "XL"),
+        (10, "X"),
+        (9, "IX"),
+        (5, "V"),
+        (4, "IV"),
+        (1, "I"),
+    ] {
+        while n >= value {
+            out.push_str(sym);
+            n -= value;
+        }
+    }
+    out
+}
+
+fn v_html(s: &str) -> bool {
+    let t = s.trim();
+    if !t.starts_with('<') || !t.ends_with('>') {
+        return false;
+    }
+    // Must contain a known HTML tag and a matching close (or self-close).
+    const TAGS: &[&str] = &[
+        "html", "div", "p", "a", "span", "table", "tr", "td", "ul", "li", "h1", "h2", "body",
+        "b", "i", "img", "br", "head", "title",
+    ];
+    let lower = t.to_ascii_lowercase();
+    TAGS.iter().any(|tag| {
+        lower.contains(&format!("<{tag}")) && (lower.contains(&format!("</{tag}>")) || lower.contains("/>"))
+    })
+}
+
+fn g_html(rng: &mut StdRng) -> String {
+    let text = gen::pick(rng, gen::BOOK_TITLES);
+    match rng.gen_range(0..4) {
+        0 => format!("<p>{text}</p>"),
+        1 => format!("<div class=\"item\"><span>{text}</span></div>"),
+        2 => format!("<a href=\"https://example.com\">{text}</a>"),
+        _ => format!("<ul><li>{text}</li><li>{}</li></ul>", gen::digits(rng, 3)),
+    }
+}
+
+/// A strict little JSON validator (objects, arrays, strings, numbers,
+/// booleans, null) — no external crates.
+pub(crate) fn v_json(s: &str) -> bool {
+    let chars: Vec<char> = s.chars().collect();
+    let mut pos = 0usize;
+    fn skip_ws(chars: &[char], pos: &mut usize) {
+        while *pos < chars.len() && chars[*pos].is_whitespace() {
+            *pos += 1;
+        }
+    }
+    fn value(chars: &[char], pos: &mut usize, depth: u32) -> bool {
+        if depth > 64 {
+            return false;
+        }
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some('{') => {
+                *pos += 1;
+                skip_ws(chars, pos);
+                if chars.get(*pos) == Some(&'}') {
+                    *pos += 1;
+                    return true;
+                }
+                loop {
+                    skip_ws(chars, pos);
+                    if !string(chars, pos) {
+                        return false;
+                    }
+                    skip_ws(chars, pos);
+                    if chars.get(*pos) != Some(&':') {
+                        return false;
+                    }
+                    *pos += 1;
+                    if !value(chars, pos, depth + 1) {
+                        return false;
+                    }
+                    skip_ws(chars, pos);
+                    match chars.get(*pos) {
+                        Some(',') => *pos += 1,
+                        Some('}') => {
+                            *pos += 1;
+                            return true;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            Some('[') => {
+                *pos += 1;
+                skip_ws(chars, pos);
+                if chars.get(*pos) == Some(&']') {
+                    *pos += 1;
+                    return true;
+                }
+                loop {
+                    if !value(chars, pos, depth + 1) {
+                        return false;
+                    }
+                    skip_ws(chars, pos);
+                    match chars.get(*pos) {
+                        Some(',') => *pos += 1,
+                        Some(']') => {
+                            *pos += 1;
+                            return true;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            Some('"') => string(chars, pos),
+            Some('t') => literal(chars, pos, "true"),
+            Some('f') => literal(chars, pos, "false"),
+            Some('n') => literal(chars, pos, "null"),
+            Some(c) if *c == '-' || c.is_ascii_digit() => number(chars, pos),
+            _ => false,
+        }
+    }
+    fn literal(chars: &[char], pos: &mut usize, lit: &str) -> bool {
+        for expected in lit.chars() {
+            if chars.get(*pos) != Some(&expected) {
+                return false;
+            }
+            *pos += 1;
+        }
+        true
+    }
+    fn string(chars: &[char], pos: &mut usize) -> bool {
+        if chars.get(*pos) != Some(&'"') {
+            return false;
+        }
+        *pos += 1;
+        while let Some(&c) = chars.get(*pos) {
+            match c {
+                '"' => {
+                    *pos += 1;
+                    return true;
+                }
+                '\\' => {
+                    *pos += 2;
+                }
+                _ => *pos += 1,
+            }
+        }
+        false
+    }
+    fn number(chars: &[char], pos: &mut usize) -> bool {
+        if chars.get(*pos) == Some(&'-') {
+            *pos += 1;
+        }
+        let mut digits = 0;
+        while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+            *pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return false;
+        }
+        if chars.get(*pos) == Some(&'.') {
+            *pos += 1;
+            let mut frac = 0;
+            while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                *pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return false;
+            }
+        }
+        if matches!(chars.get(*pos), Some('e') | Some('E')) {
+            *pos += 1;
+            if matches!(chars.get(*pos), Some('+') | Some('-')) {
+                *pos += 1;
+            }
+            let mut exp = 0;
+            while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                *pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return false;
+            }
+        }
+        true
+    }
+    // Top level must be an object or array (like mined json.loads wrappers).
+    skip_ws(&chars, &mut pos);
+    if !matches!(chars.get(pos), Some('{') | Some('[')) {
+        return false;
+    }
+    if !value(&chars, &mut pos, 0) {
+        return false;
+    }
+    skip_ws(&chars, &mut pos);
+    pos == chars.len()
+}
+
+fn g_json(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..4) {
+        0 => format!(
+            "{{\"id\": {}, \"name\": \"{}\", \"active\": {}}}",
+            rng.gen_range(1..10000),
+            gen::pick(rng, gen::FIRST_NAMES),
+            if rng.gen_bool(0.5) { "true" } else { "false" }
+        ),
+        1 => format!(
+            "[{}, {}, {}]",
+            rng.gen_range(0..100),
+            rng.gen_range(0..100),
+            rng.gen_range(0..100)
+        ),
+        2 => format!(
+            "{{\"items\": [{{\"sku\": \"{}\", \"qty\": {}}}], \"total\": {}.{:02}}}",
+            gen::upper(rng, 5),
+            rng.gen_range(1..10),
+            rng.gen_range(1..1000),
+            rng.gen_range(0..100)
+        ),
+        _ => format!(
+            "{{\"city\": \"{}\", \"zip\": \"{}\"}}",
+            gen::pick(rng, gen::CITIES),
+            gen::digits(rng, 5)
+        ),
+    }
+}
+
+/// Simple XML well-formedness: tags must balance and nest properly.
+pub(crate) fn v_xml(s: &str) -> bool {
+    let t = s.trim();
+    if !t.starts_with('<') || !t.ends_with('>') {
+        return false;
+    }
+    let mut stack: Vec<String> = Vec::new();
+    let mut rest = t;
+    let mut saw_element = false;
+    while let Some(open) = rest.find('<') {
+        let Some(close_rel) = rest[open..].find('>') else {
+            return false;
+        };
+        let tag = &rest[open + 1..open + close_rel];
+        rest = &rest[open + close_rel + 1..];
+        if tag.starts_with('?') || tag.starts_with('!') {
+            continue; // declaration / comment
+        }
+        if let Some(name) = tag.strip_prefix('/') {
+            match stack.pop() {
+                Some(top) if top == name => {}
+                _ => return false,
+            }
+        } else if tag.ends_with('/') {
+            saw_element = true;
+        } else {
+            let name: String = tag
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .to_string();
+            if name.is_empty() || !name.chars().next().unwrap().is_ascii_alphabetic() {
+                return false;
+            }
+            stack.push(name);
+            saw_element = true;
+        }
+    }
+    stack.is_empty() && saw_element
+}
+
+fn g_xml(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3) {
+        0 => format!(
+            "<order id=\"{}\"><item>{}</item><qty>{}</qty></order>",
+            gen::digits(rng, 4),
+            gen::pick(rng, gen::BOOK_TITLES),
+            rng.gen_range(1..10)
+        ),
+        1 => format!(
+            "<?xml version=\"1.0\"?><person><name>{}</name></person>",
+            gen::pick(rng, gen::FIRST_NAMES)
+        ),
+        _ => format!(
+            "<config><key>{}</key><value>{}</value></config>",
+            gen::lower(rng, 6),
+            gen::digits(rng, 3)
+        ),
+    }
+}
+
+fn days_in_month(month: u32, year: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400)) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+fn valid_ymd(year: u32, month: u32, day: u32) -> bool {
+    (1000..=2100).contains(&year) && (1..=12).contains(&month) && day >= 1 && day <= days_in_month(month, year)
+}
+
+fn valid_time(t: &str) -> bool {
+    let (clock, ampm) = match t.strip_suffix(" AM").or_else(|| t.strip_suffix(" PM")) {
+        Some(c) => (c, true),
+        None => (t, false),
+    };
+    let parts: Vec<&str> = clock.split(':').collect();
+    if !(2..=3).contains(&parts.len()) {
+        return false;
+    }
+    if !parts
+        .iter()
+        .all(|p| (1..=2).contains(&p.len()) && p.bytes().all(|b| b.is_ascii_digit()))
+    {
+        return false;
+    }
+    let hour: u32 = parts[0].parse().unwrap();
+    let minute: u32 = parts[1].parse().unwrap();
+    let second: u32 = parts.get(2).map(|p| p.parse().unwrap()).unwrap_or(0);
+    let hour_ok = if ampm { (1..=12).contains(&hour) } else { hour <= 23 };
+    hour_ok && minute <= 59 && second <= 59
+}
+
+/// Multi-format date-time validation (the paper's date-time type has several
+/// sub-formats; §8.1 creates a test case per sub-format plus a mixed one).
+pub(crate) fn v_datetime(s: &str) -> bool {
+    let s = s.trim();
+    if s.is_empty() {
+        return false;
+    }
+    // ISO "T" separator: date T time.
+    if let Some((date, time)) = s.split_once('T') {
+        if v_date_only(date) && valid_time(time) {
+            return true;
+        }
+    }
+    // "date <time>" — try every space as the date/time boundary.
+    for (i, c) in s.char_indices() {
+        if c == ' ' && valid_time(&s[i + 1..]) && v_date_only(&s[..i]) {
+            return true;
+        }
+    }
+    v_date_only(s)
+}
+
+fn v_date_only(s: &str) -> bool {
+    // ISO: 2017-01-01 or 2017/01/01.
+    for sep in ['-', '/'] {
+        let parts: Vec<&str> = s.split(sep).collect();
+        if parts.len() == 3
+            && parts[0].len() == 4
+            && parts
+                .iter()
+                .all(|p| p.bytes().all(|b| b.is_ascii_digit()) && !p.is_empty())
+        {
+            let y = parts[0].parse().unwrap_or(0);
+            let m = parts[1].parse().unwrap_or(0);
+            let d = parts[2].parse().unwrap_or(0);
+            return valid_ymd(y, m, d);
+        }
+        // US: 01/02/2017.
+        if parts.len() == 3
+            && parts[2].len() == 4
+            && parts
+                .iter()
+                .all(|p| p.bytes().all(|b| b.is_ascii_digit()) && !p.is_empty() && p.len() <= 4)
+        {
+            let m = parts[0].parse().unwrap_or(0);
+            let d = parts[1].parse().unwrap_or(0);
+            let y = parts[2].parse().unwrap_or(0);
+            return valid_ymd(y, m, d);
+        }
+    }
+    // Textual: "Jan 01, 2017" / "January 1 2017" / "01 Jan 2017".
+    let cleaned = s.replace(',', " ");
+    let tokens: Vec<&str> = cleaned.split_whitespace().collect();
+    if tokens.len() == 3 {
+        let month_index = |tok: &str| {
+            gen::MONTHS_ABBR
+                .iter()
+                .position(|m| m.eq_ignore_ascii_case(tok))
+                .or_else(|| {
+                    gen::MONTHS_FULL
+                        .iter()
+                        .position(|m| m.eq_ignore_ascii_case(tok))
+                })
+        };
+        // Month first.
+        if let Some(mi) = month_index(tokens[0]) {
+            let d: u32 = tokens[1].parse().unwrap_or(0);
+            let y: u32 = tokens[2].parse().unwrap_or(0);
+            return valid_ymd(y, mi as u32 + 1, d);
+        }
+        // Day first.
+        if let Some(mi) = month_index(tokens[1]) {
+            let d: u32 = tokens[0].parse().unwrap_or(0);
+            let y: u32 = tokens[2].parse().unwrap_or(0);
+            return valid_ymd(y, mi as u32 + 1, d);
+        }
+    }
+    false
+}
+
+pub(crate) fn g_datetime(rng: &mut StdRng) -> String {
+    let year = rng.gen_range(1950..2025);
+    let month = rng.gen_range(1..=12);
+    let day = rng.gen_range(1..=days_in_month(month, year));
+    match rng.gen_range(0..6) {
+        0 => format!("{year}-{month:02}-{day:02}"),
+        1 => format!("{month:02}/{day:02}/{year}"),
+        2 => format!("{} {day:02}, {year}", gen::MONTHS_ABBR[month as usize - 1]),
+        3 => format!("{} {day}, {year}", gen::MONTHS_FULL[month as usize - 1]),
+        4 => format!(
+            "{year}-{month:02}-{day:02} {:02}:{:02}:{:02}",
+            rng.gen_range(0..24),
+            rng.gen_range(0..60),
+            rng.gen_range(0..60)
+        ),
+        _ => format!(
+            "{month}/{day}/{year} {}:{:02} {}",
+            rng.gen_range(1..=12),
+            rng.gen_range(0..60),
+            if rng.gen_bool(0.5) { "AM" } else { "PM" }
+        ),
+    }
+}
+
+fn v_sql(s: &str) -> bool {
+    let upper = s.trim().to_ascii_uppercase();
+    (upper.starts_with("SELECT ") && upper.contains(" FROM "))
+        || upper.starts_with("INSERT INTO ")
+        || (upper.starts_with("UPDATE ") && upper.contains(" SET "))
+        || upper.starts_with("DELETE FROM ")
+        || upper.starts_with("CREATE TABLE ")
+}
+
+fn g_sql(rng: &mut StdRng) -> String {
+    let table = gen::pick(rng, &["users", "orders", "products", "events", "logs"]);
+    let column = gen::pick(rng, &["id", "name", "created_at", "price", "status"]);
+    match rng.gen_range(0..4) {
+        0 => format!("SELECT {column} FROM {table} WHERE id = {}", rng.gen_range(1..1000)),
+        1 => format!("SELECT * FROM {table} ORDER BY {column} DESC LIMIT {}", rng.gen_range(1..100)),
+        2 => format!("INSERT INTO {table} ({column}) VALUES ({})", rng.gen_range(1..100)),
+        _ => format!("UPDATE {table} SET {column} = {} WHERE id = {}", rng.gen_range(1..10), rng.gen_range(1..1000)),
+    }
+}
+
+fn v_ric(s: &str) -> bool {
+    let Some((symbol, exchange)) = s.split_once('.') else {
+        return false;
+    };
+    const EXCHANGES: &[&str] = &["O", "N", "L", "T", "PA", "DE", "HK", "AX", "TO", "SS"];
+    (1..=5).contains(&symbol.len())
+        && symbol.bytes().all(|b| b.is_ascii_uppercase())
+        && EXCHANGES.contains(&exchange)
+}
+
+fn g_ric(rng: &mut StdRng) -> String {
+    let exchange = gen::pick(rng, &["O", "N", "L", "T", "PA", "DE", "HK"]);
+    format!("{}.{exchange}", gen::pick(rng, gen::TICKERS))
+}
+
+fn v_oid(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('.').collect();
+    if parts.len() < 3 {
+        return false;
+    }
+    if !parts.iter().all(|p| {
+        !p.is_empty()
+            && p.bytes().all(|b| b.is_ascii_digit())
+            && !(p.len() > 1 && p.starts_with('0'))
+    }) {
+        return false;
+    }
+    let first: u32 = parts[0].parse().unwrap();
+    let second: u32 = parts[1].parse().unwrap();
+    first <= 2 && (first == 2 || second <= 39)
+}
+
+fn g_oid(rng: &mut StdRng) -> String {
+    let mut parts = vec![
+        rng.gen_range(0..3).to_string(),
+        rng.gen_range(0..40).to_string(),
+    ];
+    for _ in 0..rng.gen_range(2..6) {
+        parts.push(rng.gen_range(1..10000).to_string());
+    }
+    parts.join(".")
+}
+
+fn v_guid(s: &str) -> bool {
+    let t = s.trim_start_matches('{').trim_end_matches('}');
+    let parts: Vec<&str> = t.split('-').collect();
+    parts.len() == 5
+        && [8, 4, 4, 4, 12]
+            .iter()
+            .zip(&parts)
+            .all(|(len, p)| p.len() == *len && p.bytes().all(|b| b.is_ascii_hexdigit()))
+}
+
+fn g_guid(rng: &mut StdRng) -> String {
+    format!(
+        "{}-{}-{}-{}-{}",
+        gen::hex(rng, 8),
+        gen::hex(rng, 4),
+        gen::hex(rng, 4),
+        gen::hex(rng, 4),
+        gen::hex(rng, 12)
+    )
+}
+
+fn v_isni(s: &str) -> bool {
+    let compact: String = s.chars().filter(|c| *c != ' ').collect();
+    if compact.len() != 16 {
+        return false;
+    }
+    let (body, check) = compact.split_at(15);
+    if !body.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    crate::checksums::mod11_2_check_char(body) == check.chars().next()
+}
+
+fn g_isni(rng: &mut StdRng) -> String {
+    let body = format!("0000{}", gen::digits(rng, 11));
+    let check = crate::checksums::mod11_2_check_char(&body).expect("digits");
+    let full = format!("{body}{check}");
+    format!(
+        "{} {} {} {}",
+        &full[..4],
+        &full[4..8],
+        &full[8..12],
+        &full[12..]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn json_validator() {
+        assert!(v_json("{\"a\": 1}"));
+        assert!(v_json("[1, 2, 3]"));
+        assert!(v_json("{\"a\": [true, null, -1.5e3], \"b\": \"x\"}"));
+        assert!(!v_json("{a: 1}"));
+        assert!(!v_json("{\"a\": 1,}"));
+        assert!(!v_json("\"bare string\""));
+        assert!(!v_json("{\"a\": 1} extra"));
+    }
+
+    #[test]
+    fn xml_validator() {
+        assert!(v_xml("<a><b>x</b></a>"));
+        assert!(v_xml("<?xml version=\"1.0\"?><r><i/></r>"));
+        assert!(!v_xml("<a><b>x</a></b>"));
+        assert!(!v_xml("<a>unclosed"));
+        assert!(!v_xml("plain text"));
+    }
+
+    #[test]
+    fn roman_numerals() {
+        assert!(v_roman("XIV"));
+        assert!(v_roman("MMXVIII"));
+        assert!(v_roman("MCMXCIX"));
+        assert!(!v_roman("IIII"));
+        assert!(!v_roman("VX"));
+        assert!(!v_roman("ABC"));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let r = g_roman(&mut rng);
+            assert!(v_roman(&r), "{r}");
+        }
+    }
+
+    #[test]
+    fn datetime_formats() {
+        assert!(v_datetime("2017-01-01"));
+        assert!(v_datetime("Jan 01, 2017"));
+        assert!(v_datetime("September 15, 2011"));
+        assert!(v_datetime("01/02/2017"));
+        assert!(v_datetime("2017-01-01 12:34:56"));
+        assert!(v_datetime("1/2/2017 1:30 PM"));
+        assert!(!v_datetime("Abc 01, 2017")); // paper: "Abc" is not a month
+        assert!(!v_datetime("2017-13-01"));
+        assert!(!v_datetime("2017-02-30"));
+        assert!(!v_datetime("4-11")); // the "temperature range" ambiguity
+    }
+
+    #[test]
+    fn color_formats() {
+        assert!(v_hexcolor("#ff00aa"));
+        assert!(v_hexcolor("#f0a"));
+        assert!(!v_hexcolor("ff00aa"));
+        assert!(v_rgbcolor("rgb(255, 0, 128)"));
+        assert!(v_rgbcolor("255,0,128"));
+        assert!(!v_rgbcolor("rgb(256, 0, 0)"));
+        assert!(v_cmyk("cmyk(0%, 50%, 100%, 0%)"));
+        assert!(v_hsl("hsl(360, 100%, 50%)"));
+        assert!(!v_hsl("hsl(361, 100%, 50%)"));
+    }
+
+    #[test]
+    fn oid_and_guid() {
+        assert!(v_oid("1.3.6.1.4.1"));
+        assert!(!v_oid("3.3.6"));
+        assert!(!v_oid("1.40.6.1"));
+        assert!(v_guid("550e8400-e29b-41d4-a716-446655440000"));
+        assert!(!v_guid("550e8400-e29b-41d4-a716"));
+    }
+
+    #[test]
+    fn sql_and_ric() {
+        assert!(v_sql("SELECT id FROM users WHERE id = 1"));
+        assert!(v_sql("INSERT INTO t (a) VALUES (1)"));
+        assert!(!v_sql("HELLO WORLD"));
+        assert!(v_ric("AAPL.O"));
+        assert!(!v_ric("AAPL"));
+    }
+
+    #[test]
+    fn isni_check() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            let i = g_isni(&mut rng);
+            assert!(v_isni(&i), "{i}");
+        }
+        assert!(!v_isni("0000 0001 2345 678X")); // wrong check almost surely
+    }
+
+    #[test]
+    fn unixtime_range() {
+        assert!(v_unixtime("1530000000"));
+        assert!(!v_unixtime("15300000000"));
+        assert!(!v_unixtime("99999999"));
+    }
+}

@@ -1,0 +1,516 @@
+//! Personal-information semantic types: 13 types.
+
+use crate::checksums as ck;
+use crate::gen;
+use crate::registry::{Coverage, Domain, Spec};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn types() -> Vec<Spec> {
+    vec![
+        Spec {
+            name: "phone number",
+            slug: "phone",
+            domain: Domain::Personal,
+            keywords: &["phone number", "telephone number"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_phone,
+            generate: g_phone,
+        },
+        Spec {
+            name: "email address",
+            slug: "email",
+            domain: Domain::Personal,
+            keywords: &["email address", "email"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_email,
+            generate: g_email,
+        },
+        Spec {
+            name: "person name",
+            slug: "personname",
+            domain: Domain::Personal,
+            keywords: &["person name", "people names"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_personname,
+            generate: g_personname,
+        },
+        Spec {
+            name: "mailing address",
+            slug: "address",
+            domain: Domain::Personal,
+            keywords: &["mailing address", "street address"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_address,
+            generate: g_address,
+        },
+        Spec {
+            name: "Legal Entity Identifier",
+            slug: "lei",
+            domain: Domain::Personal,
+            keywords: &["Legal Entity Identifier", "LEI code"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: ck::lei_valid,
+            generate: g_lei,
+        },
+        Spec {
+            name: "US Social Security Number",
+            slug: "ssn",
+            domain: Domain::Personal,
+            keywords: &["SSN", "social security number"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_ssn,
+            generate: g_ssn,
+        },
+        Spec {
+            name: "Chinese Resident ID",
+            slug: "chinaid",
+            domain: Domain::Personal,
+            keywords: &["Chinese Resident ID", "China identity number"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_chinaid,
+            generate: g_chinaid,
+        },
+        Spec {
+            name: "Employer Identification Number",
+            slug: "ein",
+            domain: Domain::Personal,
+            keywords: &["EIN", "employer identification number"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_ein,
+            generate: g_ein,
+        },
+        Spec {
+            name: "NHS number",
+            slug: "nhs",
+            domain: Domain::Personal,
+            keywords: &["NHS number", "national health service number"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: ck::nhs_valid,
+            generate: g_nhs,
+        },
+        Spec {
+            name: "PubChem ID",
+            slug: "pubchem",
+            domain: Domain::Personal,
+            keywords: &["PubChem ID", "PubChem CID"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_pubchem,
+            generate: g_pubchem,
+        },
+        Spec {
+            name: "Personal Identifiable Information",
+            slug: "pii",
+            domain: Domain::Personal,
+            keywords: &["PII", "personal identifiable information"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_pii,
+            generate: g_pii,
+        },
+        Spec {
+            name: "National Provider Identifier",
+            slug: "npi",
+            domain: Domain::Personal,
+            keywords: &["National Provider Identifier", "NPI number"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: ck::npi_valid,
+            generate: g_npi,
+        },
+        Spec {
+            name: "FEI identifier",
+            slug: "fei",
+            domain: Domain::Personal,
+            keywords: &["FEI identifier", "FDA establishment identifier"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_fei,
+            generate: g_fei,
+        },
+    ]
+}
+
+/// US phone numbers: `(206) 555-0123`, `206-555-0123`, `206.555.0123`,
+/// `+1 206 555 0123`, or bare `2065550123`. Area code and exchange must not
+/// start with 0 or 1.
+pub(crate) fn v_phone(s: &str) -> bool {
+    let mut t = s.trim();
+    if let Some(rest) = t.strip_prefix("+1") {
+        t = rest.trim_start();
+    } else if let Some(rest) = t.strip_prefix("1-").or_else(|| t.strip_prefix("1 ")) {
+        t = rest;
+    }
+    let digits: String = t.chars().filter(|c| c.is_ascii_digit()).collect();
+    if digits.len() != 10 {
+        return false;
+    }
+    // Only separators allowed around digits.
+    if !t
+        .chars()
+        .all(|c| c.is_ascii_digit() || " ()-.".contains(c))
+    {
+        return false;
+    }
+    // NANP area codes start 2-9 (the paper's own example "(502) 107-2133"
+    // has an exchange starting with 1, so only the area code is constrained).
+    digits.as_bytes()[0] >= b'2'
+}
+
+pub(crate) fn g_phone(rng: &mut StdRng) -> String {
+    let area = format!("{}{}", rng.gen_range(2..10), gen::digits(rng, 2));
+    let exchange = format!("{}{}", rng.gen_range(2..10), gen::digits(rng, 2));
+    let line = gen::digits(rng, 4);
+    match rng.gen_range(0..4) {
+        0 => format!("({area}) {exchange}-{line}"),
+        1 => format!("{area}-{exchange}-{line}"),
+        2 => format!("+1 {area} {exchange} {line}"),
+        _ => format!("{area}.{exchange}.{line}"),
+    }
+}
+
+pub(crate) fn v_email(s: &str) -> bool {
+    let Some((local, domain)) = s.split_once('@') else {
+        return false;
+    };
+    if local.is_empty() || local.len() > 64 || s.contains(' ') {
+        return false;
+    }
+    if !local
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || "._%+-".contains(c))
+        || local.starts_with('.')
+        || local.ends_with('.')
+    {
+        return false;
+    }
+    let labels: Vec<&str> = domain.split('.').collect();
+    labels.len() >= 2
+        && labels.iter().all(|l| {
+            !l.is_empty()
+                && l.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
+                && !l.starts_with('-')
+                && !l.ends_with('-')
+        })
+        && labels.last().unwrap().len() >= 2
+        && labels
+            .last()
+            .unwrap()
+            .chars()
+            .all(|c| c.is_ascii_alphabetic())
+}
+
+pub(crate) fn g_email(rng: &mut StdRng) -> String {
+    let first = gen::pick(rng, gen::FIRST_NAMES).to_lowercase();
+    let last = gen::pick(rng, gen::LAST_NAMES).to_lowercase();
+    let domain = gen::pick(rng, gen::EMAIL_DOMAINS);
+    match rng.gen_range(0..3) {
+        0 => format!("{first}.{last}@{domain}"),
+        1 => format!("{first}{}@{domain}", rng.gen_range(1..99)),
+        _ => format!("{}{last}@{domain}", &first[..1]),
+    }
+}
+
+fn v_personname(s: &str) -> bool {
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    if !(2..=3).contains(&parts.len()) {
+        return false;
+    }
+    parts.iter().all(|p| {
+        let mut chars = p.chars();
+        chars.next().is_some_and(|c| c.is_ascii_uppercase())
+            && chars.all(|c| c.is_ascii_lowercase() || c == '.')
+    })
+}
+
+fn g_personname(rng: &mut StdRng) -> String {
+    let first = gen::pick(rng, gen::FIRST_NAMES);
+    let last = gen::pick(rng, gen::LAST_NAMES);
+    if rng.gen_bool(0.2) {
+        format!("{first} {}. {last}", gen::upper(rng, 1))
+    } else {
+        format!("{first} {last}")
+    }
+}
+
+/// US mailing address: `123 Main St, Springfield, IL 62704`.
+pub(crate) fn v_address(s: &str) -> bool {
+    let parts: Vec<&str> = s.split(',').map(|p| p.trim()).collect();
+    if parts.len() < 3 {
+        return false;
+    }
+    // First part: house number + street words + suffix.
+    let street: Vec<&str> = parts[0].split_whitespace().collect();
+    if street.len() < 3 {
+        return false;
+    }
+    if !street[0].bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    let suffix = street.last().unwrap().trim_end_matches('.');
+    if !gen::STREET_SUFFIXES
+        .iter()
+        .any(|suf| suf.eq_ignore_ascii_case(suffix))
+    {
+        return false;
+    }
+    // Last part: state + zip.
+    let tail: Vec<&str> = parts.last().unwrap().split_whitespace().collect();
+    if tail.len() != 2 {
+        return false;
+    }
+    gen::US_STATES.contains(&tail[0]) && crate::geo::v_zipcode(tail[1])
+}
+
+pub(crate) fn g_address(rng: &mut StdRng) -> String {
+    let number = rng.gen_range(1..9999);
+    let street = gen::pick(rng, gen::STREET_NAMES);
+    let suffix = gen::pick(rng, gen::STREET_SUFFIXES);
+    let city = gen::pick(rng, gen::CITIES);
+    let state = gen::pick(rng, gen::US_STATES);
+    format!(
+        "{number} {street} {suffix}, {city}, {state} {}",
+        crate::geo::g_zipcode(rng)
+    )
+}
+
+fn g_lei(rng: &mut StdRng) -> String {
+    // 4-char LOU prefix + 2 reserved zeros + 12 alphanumerics + 2 check digits.
+    loop {
+        let body = format!(
+            "{}00{}",
+            gen::digits(rng, 4),
+            gen::from_alphabet(rng, "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", 12)
+        );
+        let rem = ck::mod97_remainder(&format!("{body}00")).expect("alnum");
+        let check = 98 - rem;
+        let full = format!("{body}{check:02}");
+        if ck::lei_valid(&full) {
+            return full;
+        }
+    }
+}
+
+fn v_ssn(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 || parts[0].len() != 3 || parts[1].len() != 2 || parts[2].len() != 4 {
+        return false;
+    }
+    if !parts
+        .iter()
+        .all(|p| p.bytes().all(|b| b.is_ascii_digit()))
+    {
+        return false;
+    }
+    let area: u32 = parts[0].parse().unwrap();
+    area != 0 && area != 666 && area < 900 && parts[1] != "00" && parts[2] != "0000"
+}
+
+fn g_ssn(rng: &mut StdRng) -> String {
+    let area = loop {
+        let a = rng.gen_range(1..900);
+        if a != 666 {
+            break a;
+        }
+    };
+    format!(
+        "{area:03}-{:02}-{:04}",
+        rng.gen_range(1..100),
+        rng.gen_range(1..10000)
+    )
+}
+
+fn v_chinaid(s: &str) -> bool {
+    if !ck::china_id_valid(s) {
+        return false;
+    }
+    // Birth date must be plausible.
+    let year: u32 = s[6..10].parse().unwrap_or(0);
+    let month: u32 = s[10..12].parse().unwrap_or(0);
+    let day: u32 = s[12..14].parse().unwrap_or(0);
+    (1900..=2024).contains(&year) && (1..=12).contains(&month) && (1..=31).contains(&day)
+}
+
+fn g_chinaid(rng: &mut StdRng) -> String {
+    const CHECK_MAP: [char; 11] = ['1', '0', 'X', '9', '8', '7', '6', '5', '4', '3', '2'];
+    const WEIGHTS: [u32; 17] = [7, 9, 10, 5, 8, 4, 2, 1, 6, 3, 7, 9, 10, 5, 8, 4, 2];
+    let region = format!("{}{}", rng.gen_range(11..66), gen::digits(rng, 4));
+    let birth = format!(
+        "{}{:02}{:02}",
+        rng.gen_range(1940..2010),
+        rng.gen_range(1..13),
+        rng.gen_range(1..29)
+    );
+    let seq = gen::digits(rng, 3);
+    let body = format!("{region}{birth}{seq}");
+    let sum: u32 = body
+        .bytes()
+        .enumerate()
+        .map(|(i, b)| (b - b'0') as u32 * WEIGHTS[i])
+        .sum();
+    format!("{body}{}", CHECK_MAP[(sum % 11) as usize])
+}
+
+fn v_ein(s: &str) -> bool {
+    let Some((prefix, serial)) = s.split_once('-') else {
+        return false;
+    };
+    const VALID_PREFIXES: &[u32] = &[
+        1, 2, 3, 4, 5, 6, 10, 11, 12, 13, 14, 15, 16, 20, 21, 22, 23, 24, 25, 26, 27, 30, 31,
+        32, 33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47, 48, 50, 51, 52, 53, 54,
+        55, 56, 57, 58, 59, 60, 61, 62, 63, 64, 65, 66, 67, 68, 71, 72, 73, 74, 75, 76, 77, 80,
+        81, 82, 83, 84, 85, 86, 87, 88, 90, 91, 92, 93, 94, 95, 98, 99,
+    ];
+    prefix.len() == 2
+        && serial.len() == 7
+        && prefix.bytes().all(|b| b.is_ascii_digit())
+        && serial.bytes().all(|b| b.is_ascii_digit())
+        && VALID_PREFIXES.contains(&prefix.parse().unwrap())
+}
+
+fn g_ein(rng: &mut StdRng) -> String {
+    const PREFIXES: &[&str] = &["12", "20", "36", "45", "52", "54", "75", "91", "94"];
+    format!("{}-{}", gen::pick(rng, PREFIXES), gen::digits(rng, 7))
+}
+
+fn g_nhs(rng: &mut StdRng) -> String {
+    loop {
+        let body = gen::digits(rng, 9);
+        let d: Vec<u32> = body.bytes().map(|b| (b - b'0') as u32).collect();
+        let sum: u32 = (0..9).map(|i| d[i] * (10 - i as u32)).sum();
+        let check = 11 - (sum % 11);
+        if check == 10 {
+            continue;
+        }
+        let check = if check == 11 { 0 } else { check };
+        return format!("{body}{check}");
+    }
+}
+
+fn v_pubchem(s: &str) -> bool {
+    s.strip_prefix("CID")
+        .map(|d| {
+            let d = d.strip_prefix(' ').unwrap_or(d);
+            !d.is_empty()
+                && d.len() <= 9
+                && d.bytes().all(|b| b.is_ascii_digit())
+                && !d.starts_with('0')
+        })
+        .unwrap_or(false)
+}
+
+fn g_pubchem(rng: &mut StdRng) -> String {
+    format!("CID{}", { let n = rng.gen_range(3..8); gen::digits_nz(rng, n) })
+}
+
+fn v_pii(s: &str) -> bool {
+    // Composite record: "name; ssn; email" — each component must validate.
+    let parts: Vec<&str> = s.split(';').map(|p| p.trim()).collect();
+    parts.len() == 3 && v_personname(parts[0]) && v_ssn(parts[1]) && v_email(parts[2])
+}
+
+fn g_pii(rng: &mut StdRng) -> String {
+    format!(
+        "{}; {}; {}",
+        g_personname(rng),
+        g_ssn(rng),
+        g_email(rng)
+    )
+}
+
+fn g_npi(rng: &mut StdRng) -> String {
+    let body = format!("1{}", gen::digits(rng, 8));
+    let check = ck::luhn_check_digit(&format!("80840{body}"));
+    format!("{body}{check}")
+}
+
+fn v_fei(s: &str) -> bool {
+    (s.len() == 7 || s.len() == 10) && s.bytes().all(|b| b.is_ascii_digit()) && !s.starts_with('0')
+}
+
+fn g_fei(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.5) {
+        gen::digits_nz(rng, 7)
+    } else {
+        format!("30{}", gen::digits(rng, 8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn phone_formats() {
+        assert!(v_phone("(502) 107-2133")); // paper example (§9.1)
+        assert!(v_phone("206-555-0123"));
+        assert!(v_phone("+1 206 555 0123"));
+        assert!(v_phone("206.555.0123"));
+        assert!(!v_phone("106-555-0123")); // area starts with 1
+        assert!(!v_phone("206-555-012"));
+    }
+
+    #[test]
+    fn email_rules() {
+        assert!(v_email("a.b@example.com"));
+        assert!(v_email("user+tag@mail.org"));
+        assert!(!v_email("no-at-sign.com"));
+        assert!(!v_email("a@b"));
+        assert!(!v_email(".dot@x.com"));
+        assert!(!v_email("a@x.c0m"));
+    }
+
+    #[test]
+    fn address_structure() {
+        assert!(v_address("459 Euclid Rd, Utica, NY 13501")); // paper §9.1
+        assert!(v_address("1 Wall St, Springfield, IL 62704"));
+        assert!(!v_address("100 Main Street")); // partial address (paper fn)
+        assert!(!v_address("Main St, Springfield, IL 62704"));
+    }
+
+    #[test]
+    fn ssn_rules() {
+        assert!(v_ssn("123-45-6789"));
+        assert!(!v_ssn("000-45-6789"));
+        assert!(!v_ssn("666-45-6789"));
+        assert!(!v_ssn("923-45-6789"));
+        assert!(!v_ssn("123-00-6789"));
+        assert!(!v_ssn("123-45-0000"));
+    }
+
+    #[test]
+    fn china_id_generator_valid() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..20 {
+            let id = g_chinaid(&mut rng);
+            assert!(v_chinaid(&id), "{id}");
+        }
+    }
+
+    #[test]
+    fn npi_and_nhs_generators() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..20 {
+            assert!(ck::npi_valid(&g_npi(&mut rng)));
+            assert!(ck::nhs_valid(&g_nhs(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn ein_prefixes() {
+        assert!(v_ein("12-3456789"));
+        assert!(!v_ein("07-3456789")); // 07 not a valid prefix
+        assert!(!v_ein("123456789"));
+    }
+}

@@ -1,0 +1,573 @@
+//! Publication semantic types: 16 types.
+
+use crate::checksums as ck;
+use crate::gen;
+use crate::registry::{Coverage, Domain, Spec};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn types() -> Vec<Spec> {
+    vec![
+        Spec {
+            name: "ISBN",
+            slug: "isbn",
+            domain: Domain::Publication,
+            keywords: &["ISBN", "international standard book number", "ISBN13"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_isbn,
+            generate: g_isbn,
+        },
+        Spec {
+            name: "ISIN",
+            slug: "isin",
+            domain: Domain::Publication,
+            keywords: &[
+                "ISIN",
+                "ISIN number",
+                "international securities identification number",
+            ],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: ck::isin_valid,
+            generate: g_isin,
+        },
+        Spec {
+            name: "ISSN",
+            slug: "issn",
+            domain: Domain::Publication,
+            keywords: &["ISSN", "international standard serial number"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_issn,
+            generate: g_issn,
+        },
+        Spec {
+            name: "Bibcode",
+            slug: "bibcode",
+            domain: Domain::Publication,
+            keywords: &["bibcode", "ADS bibliographic code"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_bibcode,
+            generate: g_bibcode,
+        },
+        Spec {
+            name: "ISAN",
+            slug: "isan",
+            domain: Domain::Publication,
+            keywords: &["ISAN", "audiovisual number"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_isan,
+            generate: g_isan,
+        },
+        Spec {
+            name: "ISWC",
+            slug: "iswc",
+            domain: Domain::Publication,
+            keywords: &["ISWC", "musical work code"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_iswc,
+            generate: g_iswc,
+        },
+        Spec {
+            name: "DOI",
+            slug: "doi",
+            domain: Domain::Publication,
+            keywords: &["DOI", "DOI identifier", "digital object identifier", "DOI number"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_doi,
+            generate: g_doi,
+        },
+        Spec {
+            name: "ISRC",
+            slug: "isrc",
+            domain: Domain::Publication,
+            keywords: &["ISRC", "sound recording code"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_isrc,
+            generate: g_isrc,
+        },
+        Spec {
+            name: "ISMN",
+            slug: "ismn",
+            domain: Domain::Publication,
+            keywords: &["ISMN", "music number"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_ismn,
+            generate: g_ismn,
+        },
+        Spec {
+            name: "ORCID",
+            slug: "orcid",
+            domain: Domain::Publication,
+            keywords: &["ORCID", "researcher identifier"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: ck::orcid_valid,
+            generate: g_orcid,
+        },
+        Spec {
+            name: "ONIX message",
+            slug: "onix",
+            domain: Domain::Publication,
+            keywords: &["ONIX publishing protocol", "ONIX message"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_onix,
+            generate: g_onix,
+        },
+        Spec {
+            name: "Library of Congress Classification",
+            slug: "lcc",
+            domain: Domain::Publication,
+            keywords: &["Library of Congress Classification", "LCC call number"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_lcc,
+            generate: g_lcc,
+        },
+        Spec {
+            name: "ISO 690 citation",
+            slug: "iso690",
+            domain: Domain::Publication,
+            keywords: &["ISO 690 citation", "bibliographic citation"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_iso690,
+            generate: g_iso690,
+        },
+        Spec {
+            name: "APA citation",
+            slug: "apacitation",
+            domain: Domain::Publication,
+            keywords: &["APA citation", "APA reference"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_apa,
+            generate: g_apa,
+        },
+        Spec {
+            name: "National Bibliography Number",
+            slug: "nbn",
+            domain: Domain::Publication,
+            keywords: &["National Bibliography Number", "NBN urn"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_nbn,
+            generate: g_nbn,
+        },
+        Spec {
+            name: "Electronic Textbook Track Number",
+            slug: "ettn",
+            domain: Domain::Publication,
+            keywords: &["Electronic Textbook Track Number", "ETTN"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_ettn,
+            generate: g_ettn,
+        },
+    ]
+}
+
+/// ISBN-13 (GS1, 978/979 prefix) or ISBN-10, with optional dashes/spaces.
+pub(crate) fn v_isbn(s: &str) -> bool {
+    let compact: String = s
+        .chars()
+        .filter(|c| *c != '-' && *c != ' ')
+        .collect::<String>()
+        .to_ascii_uppercase();
+    let compact = compact.strip_prefix("ISBN").unwrap_or(&compact);
+    match compact.len() {
+        13 => {
+            (compact.starts_with("978") || compact.starts_with("979")) && ck::gs1_valid(compact)
+        }
+        10 => ck::isbn10_valid(compact),
+        _ => false,
+    }
+}
+
+pub(crate) fn g_isbn(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.7) {
+        // ISBN-13.
+        let prefix = if rng.gen_bool(0.9) { "978" } else { "979" };
+        let body = format!("{prefix}{}", gen::digits(rng, 9));
+        let full = format!("{body}{}", ck::gs1_check_digit(&body));
+        if rng.gen_bool(0.3) {
+            format!(
+                "{}-{}-{}-{}-{}",
+                &full[..3],
+                &full[3..4],
+                &full[4..7],
+                &full[7..12],
+                &full[12..]
+            )
+        } else {
+            full
+        }
+    } else {
+        let body = gen::digits(rng, 9);
+        format!("{body}{}", ck::isbn10_check_char(&body))
+    }
+}
+
+fn g_isin(rng: &mut StdRng) -> String {
+    let country = gen::pick(rng, gen::COUNTRY_CODES_2);
+    let body = format!("{country}{}", gen::digits(rng, 9));
+    // Compute the Luhn check digit over the expanded form.
+    let mut expanded = String::new();
+    for c in body.chars() {
+        match c {
+            '0'..='9' => expanded.push(c),
+            _ => expanded.push_str(&(c as u32 - 'A' as u32 + 10).to_string()),
+        }
+    }
+    let check = ck::luhn_check_digit(&expanded);
+    format!("{body}{check}")
+}
+
+pub(crate) fn v_issn(s: &str) -> bool {
+    let compact: String = s.chars().filter(|c| *c != '-').collect();
+    ck::issn_valid(&compact)
+}
+
+pub(crate) fn g_issn(rng: &mut StdRng) -> String {
+    let body = gen::digits(rng, 7);
+    let full = format!("{body}{}", ck::issn_check_char(&body));
+    if rng.gen_bool(0.6) {
+        format!("{}-{}", &full[..4], &full[4..])
+    } else {
+        full
+    }
+}
+
+fn v_bibcode(s: &str) -> bool {
+    // YYYYJJJJJVVVVMPPPPA: 19 characters.
+    let b = s.as_bytes();
+    if b.len() != 19 {
+        return false;
+    }
+    let year: u32 = match s[..4].parse() {
+        Ok(y) => y,
+        Err(_) => return false,
+    };
+    (1800..=2030).contains(&year)
+        && b[4..18]
+            .iter()
+            .all(|x| x.is_ascii_alphanumeric() || *x == b'.' || *x == b'&')
+        && b[18].is_ascii_uppercase()
+}
+
+fn g_bibcode(rng: &mut StdRng) -> String {
+    const JOURNALS: &[&str] = &["ApJ..", "MNRAS", "A&A..", "AJ...", "PhRvL", "Natur"];
+    let year = rng.gen_range(1950..2024);
+    let journal = gen::pick(rng, JOURNALS);
+    let volume = format!("{:.>4}", rng.gen_range(1..999));
+    let page = format!("{:.>5}", rng.gen_range(1..99999));
+    let initial = gen::upper(rng, 1);
+    format!("{year}{journal}{volume}{page}{initial}")
+        .chars()
+        .take(19)
+        .collect()
+}
+
+fn v_isan(s: &str) -> bool {
+    // ISAN root: 4 groups of 4 hex (16 hex digits), dash separated, with an
+    // optional version part. Structure-only validation.
+    let parts: Vec<&str> = s.split('-').collect();
+    parts.len() >= 4
+        && parts[..4]
+            .iter()
+            .all(|p| p.len() == 4 && p.bytes().all(|b| b.is_ascii_hexdigit()))
+}
+
+fn g_isan(rng: &mut StdRng) -> String {
+    let groups: Vec<String> = (0..4)
+        .map(|_| gen::from_alphabet(rng, "0123456789ABCDEF", 4))
+        .collect();
+    groups.join("-")
+}
+
+/// ISWC: `T-DDDDDDDDD-C` where C is a weighted mod-10 check digit
+/// (ISO 15707: check = (10 - (1 + Σ (i+1)·d_i) mod 10) mod 10).
+fn v_iswc(s: &str) -> bool {
+    let compact: String = s.chars().filter(|c| *c != '-' && *c != '.').collect();
+    let b = compact.as_bytes();
+    if b.len() != 11 || b[0] != b'T' {
+        return false;
+    }
+    if !b[1..].iter().all(|x| x.is_ascii_digit()) {
+        return false;
+    }
+    let digits: Vec<u32> = b[1..10].iter().map(|x| (x - b'0') as u32).collect();
+    let sum: u32 = 1 + digits
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (i as u32 + 1) * d)
+        .sum::<u32>();
+    (10 - sum % 10) % 10 == (b[10] - b'0') as u32
+}
+
+fn g_iswc(rng: &mut StdRng) -> String {
+    let body = gen::digits(rng, 9);
+    let digits: Vec<u32> = body.bytes().map(|x| (x - b'0') as u32).collect();
+    let sum: u32 = 1 + digits
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (i as u32 + 1) * d)
+        .sum::<u32>();
+    let check = (10 - sum % 10) % 10;
+    format!("T-{}.{}.{}-{check}", &body[..3], &body[3..6], &body[6..])
+}
+
+pub(crate) fn v_doi(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix("10.") else {
+        return false;
+    };
+    let Some((registrant, suffix)) = rest.split_once('/') else {
+        return false;
+    };
+    (4..=5).contains(&registrant.len())
+        && registrant.bytes().all(|b| b.is_ascii_digit())
+        && !suffix.is_empty()
+        && suffix.chars().all(|c| c.is_ascii_graphic())
+}
+
+fn g_doi(rng: &mut StdRng) -> String {
+    format!(
+        "10.{}/{}.{}",
+        { let n = rng.gen_range(4..=5); gen::digits_nz(rng, n) },
+        { let n = rng.gen_range(4..9); gen::lower(rng, n) },
+        { let n = rng.gen_range(4..8); gen::digits(rng, n) }
+    )
+}
+
+fn v_isrc(s: &str) -> bool {
+    let compact: String = s.chars().filter(|c| *c != '-').collect();
+    let b = compact.as_bytes();
+    b.len() == 12
+        && b[0].is_ascii_uppercase()
+        && b[1].is_ascii_uppercase()
+        && b[2..5].iter().all(|x| x.is_ascii_alphanumeric() && !x.is_ascii_lowercase())
+        && b[5..7].iter().all(|x| x.is_ascii_digit())
+        && b[7..].iter().all(|x| x.is_ascii_digit())
+}
+
+fn g_isrc(rng: &mut StdRng) -> String {
+    let country = gen::pick(rng, gen::COUNTRY_CODES_2);
+    let registrant = gen::from_alphabet(rng, "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", 3);
+    let year = format!("{:02}", rng.gen_range(0..24));
+    let designation = gen::digits(rng, 5);
+    if rng.gen_bool(0.5) {
+        format!("{country}-{registrant}-{year}-{designation}")
+    } else {
+        format!("{country}{registrant}{year}{designation}")
+    }
+}
+
+fn v_ismn(s: &str) -> bool {
+    let compact: String = s.chars().filter(|c| *c != '-' && *c != ' ').collect();
+    compact.len() == 13 && compact.starts_with("9790") && ck::gs1_valid(&compact)
+}
+
+fn g_ismn(rng: &mut StdRng) -> String {
+    let body = format!("9790{}", gen::digits(rng, 8));
+    format!("{body}{}", ck::gs1_check_digit(&body))
+}
+
+fn g_orcid(rng: &mut StdRng) -> String {
+    let body = gen::digits(rng, 15);
+    let check = ck::mod11_2_check_char(&body).expect("digit body");
+    let full = format!("{body}{check}");
+    format!(
+        "{}-{}-{}-{}",
+        &full[..4],
+        &full[4..8],
+        &full[8..12],
+        &full[12..]
+    )
+}
+
+fn v_onix(s: &str) -> bool {
+    s.trim_start().starts_with("<ONIXMessage")
+        && s.contains("</ONIXMessage>")
+        && crate::other::v_xml(s)
+}
+
+fn g_onix(rng: &mut StdRng) -> String {
+    format!(
+        "<ONIXMessage><Header><Sender>{}</Sender></Header><Product><RecordReference>{}</RecordReference></Product></ONIXMessage>",
+        gen::upper(rng, 5),
+        gen::digits(rng, 8)
+    )
+}
+
+fn v_lcc(s: &str) -> bool {
+    // e.g. "QA76.73.R87 2018": 1-3 class letters + number, optional cutters.
+    let b = s.as_bytes();
+    if b.is_empty() || !b[0].is_ascii_uppercase() {
+        return false;
+    }
+    let letters = s.chars().take_while(|c| c.is_ascii_uppercase()).count();
+    if !(1..=3).contains(&letters) {
+        return false;
+    }
+    let rest = &s[letters..];
+    let digits = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+    digits >= 1
+        && rest
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == ' ')
+}
+
+fn g_lcc(rng: &mut StdRng) -> String {
+    const CLASSES: &[&str] = &["QA", "QC", "TK", "HB", "PS", "ML", "RC", "KF", "Z", "BF"];
+    let class = gen::pick(rng, CLASSES);
+    let num = rng.gen_range(1..9999);
+    if rng.gen_bool(0.6) {
+        format!(
+            "{class}{num}.{}{} {}",
+            gen::upper(rng, 1),
+            gen::digits(rng, 2),
+            rng.gen_range(1950..2024)
+        )
+    } else {
+        format!("{class}{num}")
+    }
+}
+
+fn v_iso690(s: &str) -> bool {
+    // "SURNAME, Given. Title. Place: Publisher, Year."
+    let has_author = s
+        .split(',')
+        .next()
+        .is_some_and(|a| a.len() >= 2 && a.chars().all(|c| c.is_ascii_uppercase() || c == ' '));
+    has_author && s.contains(": ") && s.trim_end().ends_with('.') && s.matches('.').count() >= 2
+}
+
+fn g_iso690(rng: &mut StdRng) -> String {
+    let last = gen::pick(rng, gen::LAST_NAMES).to_uppercase();
+    let first = gen::pick(rng, gen::FIRST_NAMES);
+    let title = gen::pick(rng, gen::BOOK_TITLES);
+    let city = gen::pick(rng, gen::CITIES);
+    format!(
+        "{last}, {first}. {title}. {city}: Academic Press, {}.",
+        rng.gen_range(1970..2024)
+    )
+}
+
+fn v_apa(s: &str) -> bool {
+    // "Author, A. B. (Year). Title. Journal, Vol(Iss), pages."
+    let Some(open) = s.find('(') else {
+        return false;
+    };
+    let Some(close) = s.find(')') else {
+        return false;
+    };
+    if close <= open + 4 {
+        return false;
+    }
+    let year = &s[open + 1..open + 5];
+    s.contains(", ")
+        && year.bytes().all(|b| b.is_ascii_digit())
+        && s[close..].contains('.')
+}
+
+fn g_apa(rng: &mut StdRng) -> String {
+    let last = gen::pick(rng, gen::LAST_NAMES);
+    let initial = gen::upper(rng, 1);
+    let title = gen::pick(rng, gen::BOOK_TITLES);
+    format!(
+        "{last}, {initial}. ({}). {title}. Journal of Examples, {}({}), {}-{}.",
+        rng.gen_range(1980..2024),
+        rng.gen_range(1..50),
+        rng.gen_range(1..12),
+        rng.gen_range(1..500),
+        rng.gen_range(500..999)
+    )
+}
+
+fn v_nbn(s: &str) -> bool {
+    let parts: Vec<&str> = s.split(':').collect();
+    parts.len() >= 4
+        && parts[0] == "urn"
+        && parts[1] == "nbn"
+        && parts[2].len() == 2
+        && parts[2].bytes().all(|b| b.is_ascii_lowercase())
+        && !parts[3].is_empty()
+}
+
+fn g_nbn(rng: &mut StdRng) -> String {
+    let country = gen::pick(rng, gen::COUNTRY_CODES_2).to_lowercase();
+    format!("urn:nbn:{country}:{}-{}", gen::lower(rng, 3), gen::digits(rng, 7))
+}
+
+fn v_ettn(s: &str) -> bool {
+    // Synthetic stand-in: `ETTN-` + 10 digits (documented in DESIGN.md).
+    s.strip_prefix("ETTN-")
+        .map(|d| d.len() == 10 && d.bytes().all(|b| b.is_ascii_digit()))
+        .unwrap_or(false)
+}
+
+fn g_ettn(rng: &mut StdRng) -> String {
+    format!("ETTN-{}", gen::digits(rng, 10))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isbn_both_lengths_and_dashes() {
+        assert!(v_isbn("9784063641561"));
+        assert!(v_isbn("978-4-06-364156-1"));
+        assert!(v_isbn("0306406152"));
+        assert!(v_isbn("ISBN 9784063641561"));
+        assert!(!v_isbn("9784063641562"));
+        assert!(!v_isbn("5784063641561")); // must start 978/979
+    }
+
+    #[test]
+    fn doi_shape() {
+        assert!(v_doi("10.1145/3183713.3196888")); // the paper's own DOI
+        assert!(!v_doi("11.1145/318"));
+        assert!(!v_doi("10.1145"));
+    }
+
+    #[test]
+    fn iswc_checksum() {
+        // T-034524680-1: check over 034524680.
+        let mut rng = rand::SeedableRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let w = g_iswc(&mut rng);
+            assert!(v_iswc(&w), "{w}");
+        }
+        assert!(!v_iswc("T-000000001-5"));
+    }
+
+    #[test]
+    fn isrc_shape() {
+        assert!(v_isrc("USRC17607839"));
+        assert!(v_isrc("US-RC1-76-07839"));
+        assert!(!v_isrc("usrc17607839"));
+    }
+
+    #[test]
+    fn bibcode_shape() {
+        assert!(v_bibcode("2018ApJ...859...101Z".get(..19).map(|_| "2018ApJ...859.0101Z").unwrap()));
+        assert!(!v_bibcode("1700ApJ...859.0101Z"));
+    }
+
+    #[test]
+    fn nbn_and_lcc() {
+        assert!(v_nbn("urn:nbn:de:101-2018042401"));
+        assert!(!v_nbn("urn:isbn:de:101"));
+        assert!(v_lcc("QA76.73"));
+        assert!(!v_lcc("qa76"));
+    }
+}

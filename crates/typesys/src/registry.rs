@@ -1,0 +1,279 @@
+//! The 112-type benchmark registry (paper Appendix A).
+//!
+//! Each [`SemanticType`] bundles a ground-truth validator, a positive-example
+//! generator, search keywords (canonical plus the alternates of Appendix I
+//! Table 4), a domain, and a *coverage* label reproducing the paper's
+//! findings: 84 types have usable Python code, 24 have none ("we could not
+//! find relevant code in Python2"), and 4 have code that needs invocation
+//! shapes AutoType does not handle (§8.2.2 names SQL query, TAF, ISNI, RIC).
+
+use rand::rngs::StdRng;
+use std::sync::OnceLock;
+
+/// Index of a type in the global registry.
+pub type TypeId = usize;
+
+/// Domain clusters from Appendix A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    Science,
+    Health,
+    Finance,
+    Tech,
+    Transport,
+    Geo,
+    Publication,
+    Personal,
+    Other,
+}
+
+impl Domain {
+    pub const ALL: [Domain; 9] = [
+        Domain::Science,
+        Domain::Health,
+        Domain::Finance,
+        Domain::Tech,
+        Domain::Transport,
+        Domain::Geo,
+        Domain::Publication,
+        Domain::Personal,
+        Domain::Other,
+    ];
+}
+
+/// Whether the (synthetic) open-source universe contains usable
+/// type-detection code for a type — reproduces the population of §8.2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coverage {
+    /// Relevant, invocable PyLite code exists in the corpus.
+    Covered,
+    /// No relevant code exists (the paper's 24 niche types).
+    NoCode,
+    /// Relevant code exists but requires multi-step invocation chains
+    /// (`a = foo1(); b = foo2(a); c = foo3(b, s)`) that the code-analysis
+    /// stage rejects (the paper's 4 types).
+    UnsupportedInvocation,
+}
+
+/// One benchmark semantic type.
+pub struct SemanticType {
+    pub id: TypeId,
+    /// Canonical display name, e.g. `"credit card"`.
+    pub name: &'static str,
+    /// Short identifier used in code/corpus, e.g. `"creditcard"`.
+    pub slug: &'static str,
+    pub domain: Domain,
+    /// Search keywords: `keywords[0]` is the canonical query; the rest are
+    /// the alternates exercised by the Figure 12 sensitivity experiment.
+    pub keywords: &'static [&'static str],
+    pub coverage: Coverage,
+    /// Member of the 20 "popular types" list (Appendix I) used by the
+    /// sensitivity and table-detection experiments.
+    pub popular: bool,
+    /// Ground-truth validator (plays the role of the human judge's
+    /// perfectly-informed oracle for `Q(F)` holdout scoring).
+    pub validate: fn(&str) -> bool,
+    /// Positive-example generator.
+    pub generate: fn(&mut StdRng) -> String,
+}
+
+impl SemanticType {
+    /// Generate `n` distinct positive examples.
+    pub fn examples(&self, rng: &mut StdRng, n: usize) -> Vec<String> {
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0;
+        while out.len() < n && attempts < n * 50 {
+            attempts += 1;
+            let candidate = (self.generate)(rng);
+            if !out.contains(&candidate) {
+                out.push(candidate);
+            }
+        }
+        // Extremely low-cardinality types (e.g. state abbreviations) may not
+        // have n distinct values; pad with repeats to keep |P| stable.
+        while out.len() < n {
+            out.push((self.generate)(rng));
+        }
+        out
+    }
+
+    /// The canonical search keyword.
+    pub fn keyword(&self) -> &'static str {
+        self.keywords[0]
+    }
+}
+
+impl std::fmt::Debug for SemanticType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SemanticType")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("domain", &self.domain)
+            .field("coverage", &self.coverage)
+            .finish()
+    }
+}
+
+/// A type definition before registry assembly assigns ids.
+pub(crate) struct Spec {
+    pub name: &'static str,
+    pub slug: &'static str,
+    pub domain: Domain,
+    pub keywords: &'static [&'static str],
+    pub coverage: Coverage,
+    pub popular: bool,
+    pub validate: fn(&str) -> bool,
+    pub generate: fn(&mut StdRng) -> String,
+}
+
+static REGISTRY: OnceLock<Vec<SemanticType>> = OnceLock::new();
+
+/// The full 112-type benchmark, in a stable order.
+pub fn registry() -> &'static [SemanticType] {
+    REGISTRY.get_or_init(|| {
+        let mut specs: Vec<Spec> = Vec::with_capacity(112);
+        specs.extend(crate::science::types());
+        specs.extend(crate::health::types());
+        specs.extend(crate::finance::types());
+        specs.extend(crate::tech::types());
+        specs.extend(crate::transport::types());
+        specs.extend(crate::geo::types());
+        specs.extend(crate::publication::types());
+        specs.extend(crate::personal::types());
+        specs.extend(crate::other::types());
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(id, s)| SemanticType {
+                id,
+                name: s.name,
+                slug: s.slug,
+                domain: s.domain,
+                keywords: s.keywords,
+                coverage: s.coverage,
+                popular: s.popular,
+                validate: s.validate,
+                generate: s.generate,
+            })
+            .collect()
+    })
+}
+
+/// Look up a type by slug.
+pub fn by_slug(slug: &str) -> Option<&'static SemanticType> {
+    registry().iter().find(|t| t.slug == slug)
+}
+
+/// The 20 popular types (Appendix I) in registry order.
+pub fn popular_types() -> Vec<&'static SemanticType> {
+    registry().iter().filter(|t| t.popular).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn registry_has_exactly_112_types() {
+        assert_eq!(registry().len(), 112);
+    }
+
+    #[test]
+    fn coverage_split_matches_the_paper() {
+        let covered = registry()
+            .iter()
+            .filter(|t| t.coverage == Coverage::Covered)
+            .count();
+        let no_code = registry()
+            .iter()
+            .filter(|t| t.coverage == Coverage::NoCode)
+            .count();
+        let unsupported = registry()
+            .iter()
+            .filter(|t| t.coverage == Coverage::UnsupportedInvocation)
+            .count();
+        assert_eq!(covered, 84, "84/112 types synthesizable (§8.2.2)");
+        assert_eq!(no_code, 24, "24 niche types without Python code");
+        assert_eq!(unsupported, 4, "4 types with unsupported invocation");
+    }
+
+    #[test]
+    fn exactly_20_popular_types() {
+        assert_eq!(popular_types().len(), 20);
+        assert!(popular_types()
+            .iter()
+            .all(|t| t.coverage == Coverage::Covered));
+    }
+
+    #[test]
+    fn slugs_are_unique() {
+        let mut slugs: Vec<&str> = registry().iter().map(|t| t.slug).collect();
+        slugs.sort_unstable();
+        let before = slugs.len();
+        slugs.dedup();
+        assert_eq!(slugs.len(), before);
+    }
+
+    #[test]
+    fn every_generator_produces_valid_examples() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for t in registry() {
+            for _ in 0..25 {
+                let example = (t.generate)(&mut rng);
+                assert!(
+                    (t.validate)(&example),
+                    "{} generated invalid example: {example:?}",
+                    t.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn examples_are_mostly_distinct() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = by_slug("creditcard").unwrap();
+        let examples = t.examples(&mut rng, 20);
+        assert_eq!(examples.len(), 20);
+        let mut unique = examples.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 20);
+    }
+
+    #[test]
+    fn every_type_has_a_keyword() {
+        for t in registry() {
+            assert!(!t.keywords.is_empty(), "{} has no keywords", t.name);
+        }
+    }
+
+    #[test]
+    fn validators_reject_clearly_wrong_inputs() {
+        for t in registry() {
+            assert!(
+                !(t.validate)(""),
+                "{} accepts the empty string",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn fig12_types_have_three_keywords() {
+        // The keyword-sensitivity experiment (Fig. 12 / Table 4) needs at
+        // least 3 keywords for these 10 types.
+        for slug in [
+            "isbn", "ipv4", "swift", "zipcode", "sedol", "isin", "vin", "rgbcolor", "fasta",
+            "doi",
+        ] {
+            let t = by_slug(slug).unwrap_or_else(|| panic!("missing {slug}"));
+            assert!(
+                t.keywords.len() >= 3,
+                "{} needs 3 keywords for Figure 12",
+                t.name
+            );
+        }
+    }
+}

@@ -1,0 +1,637 @@
+//! Science-domain semantic types (biology, chemistry): 14 types.
+
+use crate::gen;
+use crate::registry::{Coverage, Domain, Spec};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn types() -> Vec<Spec> {
+    vec![
+        Spec {
+            name: "SMILES notation",
+            slug: "smiles",
+            domain: Domain::Science,
+            keywords: &["SMILES", "SMILES notation", "molecule smiles parser"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_smiles,
+            generate: g_smiles,
+        },
+        Spec {
+            name: "International Chemical Identifier",
+            slug: "inchi",
+            domain: Domain::Science,
+            keywords: &["InChI", "international chemical identifier"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_inchi,
+            generate: g_inchi,
+        },
+        Spec {
+            name: "CAS registry number",
+            slug: "cas",
+            domain: Domain::Science,
+            keywords: &["CAS registry", "CAS number", "chemical abstracts"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_cas,
+            generate: g_cas,
+        },
+        Spec {
+            name: "FASTA sequence",
+            slug: "fasta",
+            domain: Domain::Science,
+            keywords: &["FASTA sequence", "FASTA gene sequence", "FASTA"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_fasta,
+            generate: g_fasta,
+        },
+        Spec {
+            name: "FASTQ gene sequence",
+            slug: "fastq",
+            domain: Domain::Science,
+            keywords: &["FASTQ", "FASTQ sequence"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_fastq,
+            generate: g_fastq,
+        },
+        Spec {
+            name: "chemical formula",
+            slug: "chemformula",
+            domain: Domain::Science,
+            keywords: &["chemical formula", "molecular formula"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_chem_formula,
+            generate: g_chem_formula,
+        },
+        Spec {
+            name: "Uniprot accession",
+            slug: "uniprot",
+            domain: Domain::Science,
+            keywords: &["Uniprot", "protein accession"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_uniprot,
+            generate: g_uniprot,
+        },
+        Spec {
+            name: "Ensembl gene ID",
+            slug: "ensembl",
+            domain: Domain::Science,
+            keywords: &["Ensembl gene", "Ensembl ID"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_ensembl,
+            generate: g_ensembl,
+        },
+        Spec {
+            name: "Life Science Identifier",
+            slug: "lsid",
+            domain: Domain::Science,
+            keywords: &["LSID", "life science identifier"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_lsid,
+            generate: g_lsid,
+        },
+        Spec {
+            name: "IUPAC name",
+            slug: "iupac",
+            domain: Domain::Science,
+            keywords: &["IUPAC number", "IUPAC name"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_iupac,
+            generate: g_iupac,
+        },
+        Spec {
+            name: "EVMPD code",
+            slug: "evmpd",
+            domain: Domain::Science,
+            keywords: &["EVMPD", "EudraVigilance product"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_evmpd,
+            generate: g_evmpd,
+        },
+        Spec {
+            name: "Anatomical Therapeutic Chemical code",
+            slug: "atc",
+            domain: Domain::Science,
+            keywords: &["ATC code", "anatomical therapeutic chemical"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_atc,
+            generate: g_atc,
+        },
+        Spec {
+            name: "SNP ID",
+            slug: "snpid",
+            domain: Domain::Science,
+            keywords: &["SNPID", "rs number", "SNP identifier"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_snpid,
+            generate: g_snpid,
+        },
+        Spec {
+            name: "International Code of Zoological Nomenclature",
+            slug: "iczn",
+            domain: Domain::Science,
+            keywords: &["zoological nomenclature", "binomial name"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_iczn,
+            generate: g_iczn,
+        },
+    ]
+}
+
+// --- SMILES ---------------------------------------------------------------
+
+const SMILES_POOL: &[&str] = &[
+    "CC(=O)Oc1ccccc1C(=O)O",
+    "CCO",
+    "C1CCCCC1",
+    "c1ccccc1",
+    "CC(C)CC(=O)O",
+    "O=C(O)c1ccccc1",
+    "CN1C=NC2=C1C(=O)N(C(=O)N2C)C",
+    "C(C(=O)O)N",
+    "CCN(CC)CC",
+    "OCC(O)C(O)C(O)C(O)CO",
+];
+
+fn v_smiles(s: &str) -> bool {
+    if s.is_empty() || s.len() > 200 {
+        return false;
+    }
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let allowed = |c: char| {
+        c.is_ascii_alphanumeric() || "()[]=#@+-/\\%.".contains(c)
+    };
+    for c in s.chars() {
+        if !allowed(c) {
+            return false;
+        }
+        match c {
+            '(' => paren += 1,
+            ')' => {
+                paren -= 1;
+                if paren < 0 {
+                    return false;
+                }
+            }
+            '[' => bracket += 1,
+            ']' => {
+                bracket -= 1;
+                if bracket < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Must start with an atom and contain at least one letter.
+    let first = s.chars().next().unwrap();
+    (first.is_ascii_alphabetic() || first == '[')
+        && paren == 0
+        && bracket == 0
+        && s.chars().any(|c| c.is_ascii_alphabetic())
+}
+
+fn g_smiles(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.5) {
+        gen::pick(rng, SMILES_POOL).to_string()
+    } else {
+        // Random alkane/alcohol chain.
+        let n = rng.gen_range(2..10);
+        let mut s = String::new();
+        for _ in 0..n {
+            s.push('C');
+            if rng.gen_bool(0.2) {
+                s.push_str("(C)");
+            }
+        }
+        if rng.gen_bool(0.5) {
+            s.push('O');
+        }
+        s
+    }
+}
+
+// --- InChI ----------------------------------------------------------------
+
+fn v_inchi(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix("InChI=1S/").or_else(|| s.strip_prefix("InChI=1/")) else {
+        return false;
+    };
+    let mut layers = rest.split('/');
+    let formula = match layers.next() {
+        Some(f) if !f.is_empty() => f,
+        _ => return false,
+    };
+    v_chem_formula(formula) && rest.chars().all(|c| c.is_ascii_graphic())
+}
+
+fn g_inchi(rng: &mut StdRng) -> String {
+    let formula = g_chem_formula(rng);
+    let n = rng.gen_range(2..6);
+    let carbons: Vec<String> = (1..=n).map(|i| i.to_string()).collect();
+    format!("InChI=1S/{formula}/c{}", carbons.join("-"))
+}
+
+// --- CAS registry number ----------------------------------------------------
+
+fn v_cas(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return false;
+    }
+    let (a, b, c) = (parts[0], parts[1], parts[2]);
+    if !(2..=7).contains(&a.len()) || b.len() != 2 || c.len() != 1 {
+        return false;
+    }
+    if ![a, b, c].iter().all(|p| p.bytes().all(|x| x.is_ascii_digit())) {
+        return false;
+    }
+    let digits: Vec<u32> = a
+        .bytes()
+        .chain(b.bytes())
+        .map(|x| (x - b'0') as u32)
+        .collect();
+    let sum: u32 = digits
+        .iter()
+        .rev()
+        .enumerate()
+        .map(|(i, d)| (i as u32 + 1) * d)
+        .sum();
+    sum % 10 == (c.as_bytes()[0] - b'0') as u32
+}
+
+fn g_cas(rng: &mut StdRng) -> String {
+    let a = { let n = rng.gen_range(2..=7); gen::digits_nz(rng, n) };
+    let b = gen::digits(rng, 2);
+    let digits: Vec<u32> = a
+        .bytes()
+        .chain(b.bytes())
+        .map(|x| (x - b'0') as u32)
+        .collect();
+    let sum: u32 = digits
+        .iter()
+        .rev()
+        .enumerate()
+        .map(|(i, d)| (i as u32 + 1) * d)
+        .sum();
+    format!("{a}-{b}-{}", sum % 10)
+}
+
+// --- FASTA / FASTQ ----------------------------------------------------------
+
+fn v_fasta(s: &str) -> bool {
+    let mut lines = s.lines();
+    let Some(header) = lines.next() else {
+        return false;
+    };
+    if !header.starts_with('>') || header.len() < 2 {
+        return false;
+    }
+    let mut saw_seq = false;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if !line
+            .chars()
+            .all(|c| "ACGTUNacgtun".contains(c) || "RYKMSWBDHV".contains(c.to_ascii_uppercase()))
+        {
+            return false;
+        }
+        saw_seq = true;
+    }
+    saw_seq
+}
+
+fn g_fasta(rng: &mut StdRng) -> String {
+    let id = format!(">seq_{}", gen::digits(rng, 4));
+    let lines = rng.gen_range(1..=3);
+    let mut out = id;
+    for _ in 0..lines {
+        out.push('\n');
+        out.push_str(&{ let n = rng.gen_range(20..60); gen::from_alphabet(rng, "ACGT", n) });
+    }
+    out
+}
+
+fn v_fastq(s: &str) -> bool {
+    let lines: Vec<&str> = s.lines().collect();
+    if lines.len() != 4 {
+        return false;
+    }
+    lines[0].starts_with('@')
+        && lines[0].len() > 1
+        && !lines[1].is_empty()
+        && lines[1].chars().all(|c| "ACGTN".contains(c))
+        && lines[2].starts_with('+')
+        && lines[3].len() == lines[1].len()
+        && lines[3].bytes().all(|b| (b'!'..=b'~').contains(&b))
+}
+
+fn g_fastq(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(20..50);
+    let seq = gen::from_alphabet(rng, "ACGT", n);
+    let qual = gen::from_alphabet(rng, "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHI", n);
+    format!("@read_{}\n{seq}\n+\n{qual}", gen::digits(rng, 5))
+}
+
+// --- Chemical formula -------------------------------------------------------
+
+pub(crate) fn v_chem_formula(s: &str) -> bool {
+    if s.is_empty() || s.len() > 60 {
+        return false;
+    }
+    let chars: Vec<char> = s.chars().collect();
+    let mut i = 0;
+    let mut tokens = 0;
+    while i < chars.len() {
+        // Try a two-letter element first, then one-letter.
+        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        let one: String = chars[i..i + 1].iter().collect();
+        if two.len() == 2 && gen::ELEMENTS.contains(&two.as_str()) {
+            i += 2;
+        } else if gen::ELEMENTS.contains(&one.as_str()) {
+            i += 1;
+        } else {
+            return false;
+        }
+        // Optional count.
+        let mut count_len = 0;
+        while i + count_len < chars.len() && chars[i + count_len].is_ascii_digit() {
+            count_len += 1;
+        }
+        if count_len > 0 && chars[i] == '0' {
+            return false;
+        }
+        i += count_len;
+        tokens += 1;
+    }
+    tokens >= 1
+}
+
+pub(crate) fn g_chem_formula(rng: &mut StdRng) -> String {
+    const POOL: &[&str] = &[
+        "H2O", "CO2", "C6H12O6", "NaCl", "H2SO4", "CaCO3", "C2H5OH", "NH3", "CH4", "C8H10N4O2",
+        "C9H8O4", "KMnO4", "Fe2O3", "MgSO4", "C6H6",
+    ];
+    if rng.gen_bool(0.6) {
+        gen::pick(rng, POOL).to_string()
+    } else {
+        let c = rng.gen_range(1..20);
+        let h = rng.gen_range(1..40);
+        let o = rng.gen_range(1..10);
+        format!("C{c}H{h}O{o}")
+    }
+}
+
+// --- Uniprot / Ensembl ------------------------------------------------------
+
+fn v_uniprot(s: &str) -> bool {
+    let b = s.as_bytes();
+    if b.len() != 6 {
+        return false;
+    }
+    // Form 1: [OPQ][0-9][A-Z0-9]{3}[0-9]
+    let form1 = matches!(b[0], b'O' | b'P' | b'Q')
+        && b[1].is_ascii_digit()
+        && b[2..5]
+            .iter()
+            .all(|x| x.is_ascii_uppercase() || x.is_ascii_digit())
+        && b[5].is_ascii_digit();
+    // Form 2: [A-NR-Z][0-9][A-Z][A-Z0-9]{2}[0-9]
+    let form2 = (b[0].is_ascii_uppercase() && !matches!(b[0], b'O' | b'P' | b'Q'))
+        && b[1].is_ascii_digit()
+        && b[2].is_ascii_uppercase()
+        && b[3..5]
+            .iter()
+            .all(|x| x.is_ascii_uppercase() || x.is_ascii_digit())
+        && b[5].is_ascii_digit();
+    form1 || form2
+}
+
+fn g_uniprot(rng: &mut StdRng) -> String {
+    let first = gen::pick(rng, &["O", "P", "Q"]);
+    format!(
+        "{first}{}{}{}",
+        gen::digits(rng, 1),
+        gen::from_alphabet(rng, "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", 3),
+        gen::digits(rng, 1)
+    )
+}
+
+fn v_ensembl(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix("ENS") else {
+        return false;
+    };
+    let b = rest.as_bytes();
+    b.len() == 12
+        && matches!(b[0], b'G' | b'T' | b'P' | b'E')
+        && b[1..].iter().all(|x| x.is_ascii_digit())
+}
+
+fn g_ensembl(rng: &mut StdRng) -> String {
+    let kind = gen::pick(rng, &["G", "T", "P", "E"]);
+    format!("ENS{kind}{}", gen::digits(rng, 11))
+}
+
+// --- LSID / IUPAC / EVMPD / ATC / SNP / ICZN --------------------------------
+
+fn v_lsid(s: &str) -> bool {
+    let parts: Vec<&str> = s.split(':').collect();
+    parts.len() >= 5
+        && parts[0] == "urn"
+        && parts[1] == "lsid"
+        && parts[2..].iter().all(|p| !p.is_empty())
+}
+
+fn g_lsid(rng: &mut StdRng) -> String {
+    let auth = gen::pick(rng, &["ncbi.nlm.nih.gov", "ebi.ac.uk", "ipni.org", "zoobank.org"]);
+    let ns = gen::pick(rng, &["genbank", "protein", "names", "act"]);
+    format!("urn:lsid:{auth}:{ns}:{}", gen::digits(rng, 6))
+}
+
+fn v_iupac(s: &str) -> bool {
+    if s.is_empty() {
+        return false;
+    }
+    const SUFFIXES: &[&str] = &["ol", "ane", "ene", "yne", "oic acid", "amine", "one", "al"];
+    s.chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "-, ()".contains(c))
+        && SUFFIXES.iter().any(|suf| s.ends_with(suf))
+        && s.chars().any(|c| c.is_ascii_alphabetic())
+}
+
+fn g_iupac(rng: &mut StdRng) -> String {
+    const STEMS: &[&str] = &[
+        "methan", "ethan", "propan", "butan", "pentan", "hexan", "heptan", "octan",
+    ];
+    const SUFFIX: &[&str] = &["ol", "e", "oic acid", "amine", "one", "al"];
+    let stem = gen::pick(rng, STEMS);
+    let suffix = gen::pick(rng, SUFFIX);
+    if suffix == "e" {
+        format!("{stem}e")
+    } else if rng.gen_bool(0.5) {
+        format!("{}-methyl{stem}-{}-{suffix}", rng.gen_range(2..4), rng.gen_range(1..3))
+    } else {
+        format!("{stem}-{}-{suffix}", rng.gen_range(1..3))
+    }
+}
+
+fn v_evmpd(s: &str) -> bool {
+    // Synthetic stand-in format for EudraVigilance product codes:
+    // `EV-` followed by 8 digits (documented substitution in DESIGN.md).
+    s.strip_prefix("EV-")
+        .map(|d| d.len() == 8 && d.bytes().all(|b| b.is_ascii_digit()))
+        .unwrap_or(false)
+}
+
+fn g_evmpd(rng: &mut StdRng) -> String {
+    format!("EV-{}", gen::digits(rng, 8))
+}
+
+fn v_atc(s: &str) -> bool {
+    let b = s.as_bytes();
+    const GROUPS: &[u8] = b"ABCDGHJLMNPRSV";
+    match b.len() {
+        1 => GROUPS.contains(&b[0]),
+        3 => GROUPS.contains(&b[0]) && b[1..].iter().all(|x| x.is_ascii_digit()),
+        4 | 5 => {
+            GROUPS.contains(&b[0])
+                && b[1].is_ascii_digit()
+                && b[2].is_ascii_digit()
+                && b[3..].iter().all(|x| x.is_ascii_uppercase())
+        }
+        7 => {
+            GROUPS.contains(&b[0])
+                && b[1].is_ascii_digit()
+                && b[2].is_ascii_digit()
+                && b[3].is_ascii_uppercase()
+                && b[4].is_ascii_uppercase()
+                && b[5].is_ascii_digit()
+                && b[6].is_ascii_digit()
+        }
+        _ => false,
+    }
+}
+
+fn g_atc(rng: &mut StdRng) -> String {
+    let group = gen::pick(rng, &["A", "B", "C", "D", "G", "H", "J", "L", "M", "N", "P", "R", "S", "V"]);
+    format!(
+        "{group}{}{}{}",
+        gen::digits(rng, 2),
+        gen::upper(rng, 2),
+        gen::digits(rng, 2)
+    )
+}
+
+fn v_snpid(s: &str) -> bool {
+    s.strip_prefix("rs")
+        .map(|d| !d.is_empty() && d.len() <= 10 && d.bytes().all(|b| b.is_ascii_digit()) && !d.starts_with('0'))
+        .unwrap_or(false)
+}
+
+fn g_snpid(rng: &mut StdRng) -> String {
+    format!("rs{}", { let n = rng.gen_range(3..9); gen::digits_nz(rng, n) })
+}
+
+fn v_iczn(s: &str) -> bool {
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    if parts.len() < 2 {
+        return false;
+    }
+    let genus = parts[0];
+    let species = parts[1].trim_end_matches(',');
+    genus.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        && genus.chars().skip(1).all(|c| c.is_ascii_lowercase())
+        && genus.len() >= 3
+        && species.chars().all(|c| c.is_ascii_lowercase())
+        && species.len() >= 3
+}
+
+fn g_iczn(rng: &mut StdRng) -> String {
+    const GENERA: &[&str] = &[
+        "Homo", "Panthera", "Canis", "Felis", "Ursus", "Equus", "Drosophila", "Escherichia",
+        "Apis", "Danio",
+    ];
+    const SPECIES: &[&str] = &[
+        "sapiens", "leo", "lupus", "catus", "arctos", "caballus", "melanogaster", "coli",
+        "mellifera", "rerio",
+    ];
+    let g = gen::pick(rng, GENERA);
+    let s = gen::pick(rng, SPECIES);
+    if rng.gen_bool(0.3) {
+        format!("{g} {s}, Linnaeus, {}", rng.gen_range(1758..1950))
+    } else {
+        format!("{g} {s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_accepts_known_numbers() {
+        assert!(v_cas("7732-18-5")); // water
+        assert!(v_cas("50-00-0")); // formaldehyde
+        assert!(!v_cas("7732-18-6"));
+        assert!(!v_cas("7732-18"));
+    }
+
+    #[test]
+    fn chem_formula_validates() {
+        assert!(v_chem_formula("H2O"));
+        assert!(v_chem_formula("C6H12O6"));
+        assert!(v_chem_formula("NaCl"));
+        assert!(!v_chem_formula("Xx2"));
+        assert!(!v_chem_formula("H0"));
+        assert!(!v_chem_formula(""));
+    }
+
+    #[test]
+    fn smiles_balancing() {
+        assert!(v_smiles("CC(=O)Oc1ccccc1C(=O)O"));
+        assert!(!v_smiles("CC(=O"));
+        assert!(!v_smiles("C]["));
+        assert!(!v_smiles("12345"));
+    }
+
+    #[test]
+    fn fasta_and_fastq() {
+        assert!(v_fasta(">seq1\nACGTACGT"));
+        assert!(!v_fasta("ACGT"));
+        assert!(!v_fasta(">seq1\nHELLO WORLD"));
+        assert!(v_fastq("@r1\nACGT\n+\nIIII"));
+        assert!(!v_fastq("@r1\nACGT\n+\nIII")); // quality length mismatch
+    }
+
+    #[test]
+    fn uniprot_and_ensembl() {
+        assert!(v_uniprot("P12345"));
+        assert!(v_uniprot("Q9H0H5"));
+        assert!(!v_uniprot("12345P"));
+        assert!(v_ensembl("ENSG00000139618"));
+        assert!(!v_ensembl("ENSX00000139618"));
+    }
+
+    #[test]
+    fn atc_levels() {
+        assert!(v_atc("A10BA02"));
+        assert!(v_atc("A10"));
+        assert!(!v_atc("U10BA02"));
+        assert!(!v_atc("A1"));
+    }
+}

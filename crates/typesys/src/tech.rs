@@ -1,0 +1,453 @@
+//! Technology & telecommunication semantic types: 11 types.
+
+use crate::checksums as ck;
+use crate::gen;
+use crate::registry::{Coverage, Domain, Spec};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn types() -> Vec<Spec> {
+    vec![
+        Spec {
+            name: "IPv4 address",
+            slug: "ipv4",
+            domain: Domain::Tech,
+            keywords: &["IPv4", "IPv4 address", "ip address v4"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_ipv4,
+            generate: g_ipv4,
+        },
+        Spec {
+            name: "IPv6 address",
+            slug: "ipv6",
+            domain: Domain::Tech,
+            keywords: &["IPv6", "IPv6 address"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_ipv6,
+            generate: g_ipv6,
+        },
+        Spec {
+            name: "URL",
+            slug: "url",
+            domain: Domain::Tech,
+            keywords: &["url", "website address"],
+            coverage: Coverage::Covered,
+            popular: true,
+            validate: v_url,
+            generate: g_url,
+        },
+        Spec {
+            name: "IMEI number",
+            slug: "imei",
+            domain: Domain::Tech,
+            keywords: &["IMEI", "IMEI number"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: ck::imei_valid,
+            generate: g_imei,
+        },
+        Spec {
+            name: "MAC address",
+            slug: "mac",
+            domain: Domain::Tech,
+            keywords: &["MAC address", "hardware address"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_mac,
+            generate: g_mac,
+        },
+        Spec {
+            name: "MD5 hash",
+            slug: "md5",
+            domain: Domain::Tech,
+            keywords: &["MD5", "MD5 hash"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_md5,
+            generate: g_md5,
+        },
+        Spec {
+            name: "MSISDN",
+            slug: "msisdn",
+            domain: Domain::Tech,
+            keywords: &["MSISDN", "mobile subscriber number"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_msisdn,
+            generate: g_msisdn,
+        },
+        Spec {
+            name: "Notice To Airmen",
+            slug: "notam",
+            domain: Domain::Tech,
+            keywords: &["Notice To Airmen", "NOTAM"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_notam,
+            generate: g_notam,
+        },
+        Spec {
+            name: "AIS message",
+            slug: "ais",
+            domain: Domain::Tech,
+            keywords: &["AIS message", "automatic identification system"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_ais,
+            generate: g_ais,
+        },
+        Spec {
+            name: "NMEA 0183 sentence",
+            slug: "nmea",
+            domain: Domain::Tech,
+            keywords: &["NMEA 0183", "NMEA sentence", "GPS sentence"],
+            coverage: Coverage::Covered,
+            popular: false,
+            validate: v_nmea,
+            generate: g_nmea,
+        },
+        Spec {
+            name: "International Standard Text Code",
+            slug: "istc",
+            domain: Domain::Tech,
+            keywords: &["International Standard Text Code", "ISTC"],
+            coverage: Coverage::NoCode,
+            popular: false,
+            validate: v_istc,
+            generate: g_istc,
+        },
+    ]
+}
+
+pub(crate) fn v_ipv4(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('.').collect();
+    if parts.len() != 4 {
+        return false;
+    }
+    parts.iter().all(|p| {
+        !p.is_empty()
+            && p.len() <= 3
+            && p.bytes().all(|b| b.is_ascii_digit())
+            && !(p.len() > 1 && p.starts_with('0'))
+            && p.parse::<u32>().map(|v| v <= 255).unwrap_or(false)
+    })
+}
+
+pub(crate) fn g_ipv4(rng: &mut StdRng) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        rng.gen_range(1..=223),
+        rng.gen_range(0..=255),
+        rng.gen_range(0..=255),
+        rng.gen_range(1..=254)
+    )
+}
+
+pub(crate) fn v_ipv6(s: &str) -> bool {
+    if s.is_empty() {
+        return false;
+    }
+    let double_colons = s.matches("::").count();
+    if double_colons > 1 || s.contains(":::") {
+        return false;
+    }
+    let valid_group =
+        |g: &str| (1..=4).contains(&g.len()) && g.bytes().all(|b| b.is_ascii_hexdigit());
+    if let Some((head, tail)) = s.split_once("::") {
+        let head_groups: Vec<&str> = if head.is_empty() {
+            vec![]
+        } else {
+            head.split(':').collect()
+        };
+        let tail_groups: Vec<&str> = if tail.is_empty() {
+            vec![]
+        } else {
+            tail.split(':').collect()
+        };
+        head_groups.len() + tail_groups.len() <= 7
+            && head_groups.iter().chain(tail_groups.iter()).all(|g| valid_group(g))
+    } else {
+        let groups: Vec<&str> = s.split(':').collect();
+        groups.len() == 8 && groups.iter().all(|g| valid_group(g))
+    }
+}
+
+pub(crate) fn g_ipv6(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.8) {
+        let groups: Vec<String> = (0..8)
+            .map(|_| { let n = rng.gen_range(1..=4); gen::hex(rng, n) })
+            .collect();
+        groups.join(":")
+    } else {
+        // Compressed form.
+        let head: Vec<String> = (0..rng.gen_range(1..4))
+            .map(|_| { let n = rng.gen_range(1..=4); gen::hex(rng, n) })
+            .collect();
+        let tail: Vec<String> = (0..rng.gen_range(1..4))
+            .map(|_| { let n = rng.gen_range(1..=4); gen::hex(rng, n) })
+            .collect();
+        format!("{}::{}", head.join(":"), tail.join(":"))
+    }
+}
+
+pub(crate) fn v_url(s: &str) -> bool {
+    let Some((scheme, rest)) = s.split_once("://") else {
+        return false;
+    };
+    if !["http", "https", "ftp", "ftps"].contains(&scheme) {
+        return false;
+    }
+    let authority = rest.split(['/', '?', '#']).next().unwrap_or("");
+    let host = authority.split(':').next().unwrap_or("");
+    if host.is_empty() || !host.contains('.') {
+        return false;
+    }
+    host.split('.').all(|label| {
+        !label.is_empty()
+            && label
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-')
+    }) && s.chars().all(|c| c.is_ascii_graphic())
+}
+
+pub(crate) fn g_url(rng: &mut StdRng) -> String {
+    let scheme = if rng.gen_bool(0.7) { "https" } else { "http" };
+    let host = format!(
+        "{}.{}",
+        { let n = rng.gen_range(3..10); gen::lower(rng, n) },
+        gen::pick(rng, &["com", "org", "net", "io", "edu"])
+    );
+    let www = if rng.gen_bool(0.4) { "www." } else { "" };
+    match rng.gen_range(0..3) {
+        0 => format!("{scheme}://{www}{host}"),
+        1 => format!("{scheme}://{www}{host}/{}", gen::lower(rng, 6)),
+        _ => format!(
+            "{scheme}://{www}{host}/{}/{}.html",
+            gen::lower(rng, 5),
+            gen::lower(rng, 7)
+        ),
+    }
+}
+
+fn g_imei(rng: &mut StdRng) -> String {
+    // TAC (8 digits, realistic prefix 35) + serial (6) + Luhn check.
+    let body = format!("35{}{}", gen::digits(rng, 6), gen::digits(rng, 6));
+    format!("{body}{}", ck::luhn_check_digit(&body))
+}
+
+fn v_mac(s: &str) -> bool {
+    let sep = if s.contains(':') {
+        ':'
+    } else if s.contains('-') {
+        '-'
+    } else {
+        return false;
+    };
+    let parts: Vec<&str> = s.split(sep).collect();
+    parts.len() == 6
+        && parts
+            .iter()
+            .all(|p| p.len() == 2 && p.bytes().all(|b| b.is_ascii_hexdigit()))
+}
+
+fn g_mac(rng: &mut StdRng) -> String {
+    let sep = if rng.gen_bool(0.7) { ":" } else { "-" };
+    let pairs: Vec<String> = (0..6).map(|_| gen::hex(rng, 2)).collect();
+    pairs.join(sep)
+}
+
+fn v_md5(s: &str) -> bool {
+    s.len() == 32 && s.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+fn g_md5(rng: &mut StdRng) -> String {
+    gen::hex(rng, 32)
+}
+
+fn v_msisdn(s: &str) -> bool {
+    const COUNTRY_PREFIXES: &[&str] = &[
+        "1", "7", "20", "27", "30", "31", "33", "34", "39", "40", "41", "44", "46", "47", "48",
+        "49", "52", "55", "61", "62", "63", "64", "65", "66", "81", "82", "86", "90", "91",
+    ];
+    if !(10..=15).contains(&s.len()) || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    COUNTRY_PREFIXES.iter().any(|p| s.starts_with(p))
+}
+
+fn g_msisdn(rng: &mut StdRng) -> String {
+    let cc = gen::pick(rng, &["1", "44", "49", "33", "81", "86", "91", "61", "55"]);
+    let len = rng.gen_range(10..=12usize).max(cc.len() + 9);
+    format!("{cc}{}", gen::digits(rng, len.min(15) - cc.len()))
+}
+
+fn v_notam(s: &str) -> bool {
+    // "(A1234/18 NOTAMN ..." shape.
+    let Some(rest) = s.strip_prefix('(') else {
+        return false;
+    };
+    let b = rest.as_bytes();
+    b.len() > 12
+        && b[0].is_ascii_uppercase()
+        && b[1..5].iter().all(|x| x.is_ascii_digit())
+        && b[5] == b'/'
+        && b[6].is_ascii_digit()
+        && b[7].is_ascii_digit()
+        && rest.contains("NOTAM")
+}
+
+fn g_notam(rng: &mut StdRng) -> String {
+    let series = gen::upper(rng, 1);
+    let kind = gen::pick(rng, &["N", "R", "C"]);
+    format!(
+        "({series}{}/{} NOTAM{kind} Q) {}/QMRLC/IV/NBO/A/000/999",
+        gen::digits(rng, 4),
+        rng.gen_range(15..25),
+        gen::pick(rng, gen::AIRPORT_CODES),
+    )
+}
+
+/// NMEA XOR checksum between `$`/`!` and `*`.
+fn nmea_checksum(payload: &str) -> u8 {
+    payload.bytes().fold(0u8, |acc, b| acc ^ b)
+}
+
+fn v_ais(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix("!AIVDM,").or_else(|| s.strip_prefix("!AIVDO,")) else {
+        return false;
+    };
+    let Some((payload, check)) = s[1..].rsplit_once('*') else {
+        return false;
+    };
+    let _ = rest;
+    check.len() == 2
+        && u8::from_str_radix(check, 16)
+            .map(|c| c == nmea_checksum(payload))
+            .unwrap_or(false)
+}
+
+fn g_ais(rng: &mut StdRng) -> String {
+    let body = format!(
+        "AIVDM,1,1,,{},{},0",
+        gen::pick(rng, &["A", "B"]),
+        gen::from_alphabet(rng, "0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVW`abcdefghijklmnopqrstuvw", 28)
+    );
+    format!("!{body}*{:02X}", nmea_checksum(&body))
+}
+
+fn v_nmea(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix('$') else {
+        return false;
+    };
+    let Some((payload, check)) = rest.rsplit_once('*') else {
+        return false;
+    };
+    payload.len() >= 6
+        && payload[..5].bytes().all(|b| b.is_ascii_uppercase())
+        && check.len() == 2
+        && u8::from_str_radix(check, 16)
+            .map(|c| c == nmea_checksum(payload))
+            .unwrap_or(false)
+}
+
+fn g_nmea(rng: &mut StdRng) -> String {
+    let talker = gen::pick(rng, &["GPGGA", "GPRMC", "GPGSV", "GPGLL"]);
+    let lat = format!("{:02}{:02}.{}", rng.gen_range(0..90), rng.gen_range(0..60), gen::digits(rng, 3));
+    let lon = format!("{:03}{:02}.{}", rng.gen_range(0..180), rng.gen_range(0..60), gen::digits(rng, 3));
+    let body = format!(
+        "{talker},{:02}{:02}{:02},{lat},N,{lon},W,1,08,0.9,545.4,M,46.9,M,,",
+        rng.gen_range(0..24),
+        rng.gen_range(0..60),
+        rng.gen_range(0..60)
+    );
+    format!("${body}*{:02X}", nmea_checksum(&body))
+}
+
+fn v_istc(s: &str) -> bool {
+    // ISTC: 3 hex + 4-digit year + 8 hex + 1 hex check, dash separated.
+    let parts: Vec<&str> = s.split('-').collect();
+    parts.len() == 4
+        && parts[0].len() == 3
+        && parts[0].bytes().all(|b| b.is_ascii_hexdigit())
+        && parts[1].len() == 4
+        && parts[1].bytes().all(|b| b.is_ascii_digit())
+        && parts[2].len() == 8
+        && parts[2].bytes().all(|b| b.is_ascii_hexdigit())
+        && parts[3].len() == 1
+        && parts[3].bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+fn g_istc(rng: &mut StdRng) -> String {
+    format!(
+        "{}-{}-{}-{}",
+        gen::from_alphabet(rng, "0123456789ABCDEF", 3),
+        rng.gen_range(1990..2024),
+        gen::from_alphabet(rng, "0123456789ABCDEF", 8),
+        gen::from_alphabet(rng, "0123456789ABCDEF", 1)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ipv4_edge_cases() {
+        assert!(v_ipv4("192.168.0.1"));
+        assert!(v_ipv4("255.255.255.255"));
+        assert!(!v_ipv4("256.1.1.1"));
+        assert!(!v_ipv4("1.2.3"));
+        assert!(!v_ipv4("01.2.3.4")); // leading zero
+        assert!(!v_ipv4("7.74.0.0.5"));
+    }
+
+    #[test]
+    fn ipv6_forms() {
+        assert!(v_ipv6("4f:45b6:336:d336:e41b:8df4:696:e2")); // paper example
+        assert!(v_ipv6("2001:db8::1"));
+        assert!(v_ipv6("fe80::1"));
+        assert!(!v_ipv6("2001:db8:::1"));
+        assert!(!v_ipv6("1:2:3:4:5:6:7:8:9"));
+        assert!(!v_ipv6("g::1"));
+    }
+
+    #[test]
+    fn url_forms() {
+        assert!(v_url("https://www.example.com/path"));
+        assert!(v_url("ftp://files.example.org"));
+        assert!(!v_url("example.com"));
+        assert!(!v_url("https://nodots"));
+    }
+
+    #[test]
+    fn mac_and_md5() {
+        assert!(v_mac("00:1A:2B:3C:4D:5E"));
+        assert!(v_mac("00-1a-2b-3c-4d-5e"));
+        assert!(!v_mac("00:1A:2B:3C:4D"));
+        assert!(v_md5("9e107d9d372bb6826bd81d3542a419d6"));
+        assert!(!v_md5("9e107d9d372bb6826bd81d3542a419d"));
+    }
+
+    #[test]
+    fn nmea_checksum_validates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = g_nmea(&mut rng);
+        assert!(v_nmea(&s), "{s}");
+        // Corrupt one digit: checksum must fail.
+        let corrupted = s.replace('5', "6");
+        if corrupted != s {
+            assert!(!v_nmea(&corrupted));
+        }
+    }
+
+    #[test]
+    fn ais_checksum_validates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = g_ais(&mut rng);
+        assert!(v_ais(&s), "{s}");
+        assert!(!v_ais("!AIVDM,1,1,,A,xyz*00"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests over the checksum library and the full benchmark
+//! registry: check-digit computations must round-trip, and single-digit
+//! corruption must always be caught (the error-detection guarantee the
+//! paper's credit-card/ISBN narrative relies on).
+
+use autotype_typesys::checksums as ck;
+use autotype_typesys::{registry, Coverage};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn digit_string(len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..10, len)
+        .prop_map(|ds| ds.into_iter().map(|d| char::from(b'0' + d)).collect())
+}
+
+proptest! {
+    /// Luhn check-digit round trip + single-digit error detection.
+    #[test]
+    fn luhn_roundtrip_and_single_digit_errors(body in digit_string(15), pos in 0usize..16, delta in 1u8..10) {
+        let check = ck::luhn_check_digit(&body);
+        let full = format!("{body}{check}");
+        prop_assert!(ck::luhn_valid(&full));
+        // Corrupt exactly one digit: Luhn must reject.
+        let mut bytes = full.clone().into_bytes();
+        let i = pos % bytes.len();
+        bytes[i] = b'0' + ((bytes[i] - b'0') + delta) % 10;
+        let corrupted = String::from_utf8(bytes).unwrap();
+        if corrupted != full {
+            prop_assert!(!ck::luhn_valid(&corrupted), "{corrupted} passed after corruption");
+        }
+    }
+
+    /// GS1 check-digit round trip + single-digit error detection.
+    #[test]
+    fn gs1_roundtrip_and_single_digit_errors(body in digit_string(12), pos in 0usize..13, delta in 1u8..10) {
+        let check = ck::gs1_check_digit(&body);
+        let full = format!("{body}{check}");
+        prop_assert!(ck::gs1_valid(&full));
+        let mut bytes = full.clone().into_bytes();
+        let i = pos % bytes.len();
+        bytes[i] = b'0' + ((bytes[i] - b'0') + delta) % 10;
+        let corrupted = String::from_utf8(bytes).unwrap();
+        if corrupted != full {
+            prop_assert!(!ck::gs1_valid(&corrupted));
+        }
+    }
+
+    /// ISBN-10 check character round trip.
+    #[test]
+    fn isbn10_roundtrip(body in digit_string(9)) {
+        let check = ck::isbn10_check_char(&body);
+        let full = format!("{body}{check}");
+        prop_assert!(ck::isbn10_valid(&full));
+    }
+
+    /// ISSN check character round trip.
+    #[test]
+    fn issn_roundtrip(body in digit_string(7)) {
+        let check = ck::issn_check_char(&body);
+        let full = format!("{body}{check}");
+        prop_assert!(ck::issn_valid(&full));
+    }
+
+    /// mod 11-2 (ORCID/ISNI) round trip.
+    #[test]
+    fn mod11_2_roundtrip(body in digit_string(15)) {
+        let check = ck::mod11_2_check_char(&body).unwrap();
+        let full = format!("{body}{check}");
+        let (b, c) = full.split_at(15);
+        prop_assert_eq!(ck::mod11_2_check_char(b), c.chars().next());
+    }
+}
+
+/// Registry-wide fuzz: for every benchmark type, generated examples always
+/// validate — across many seeds, not just the fixed test seed.
+#[test]
+fn registry_generators_validate_across_seeds() {
+    for seed in [1u64, 999, 123456, 0xDEADBEEF] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for ty in registry() {
+            for _ in 0..5 {
+                let example = (ty.generate)(&mut rng);
+                assert!(
+                    (ty.validate)(&example),
+                    "{} (seed {seed}): invalid example {example:?}",
+                    ty.name
+                );
+            }
+        }
+    }
+}
+
+/// S1-style digit corruption of checksum-type examples is almost always
+/// invalid — the property Algorithm 2's first rung depends on.
+#[test]
+fn digit_corruption_breaks_checksum_types() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for slug in ["creditcard", "isbn", "issn", "aba", "imo", "nhs"] {
+        let ty = registry().iter().find(|t| t.slug == slug).unwrap();
+        assert_eq!(ty.coverage, Coverage::Covered);
+        let mut broken = 0;
+        let mut total = 0;
+        for _ in 0..40 {
+            let example = (ty.generate)(&mut rng);
+            // Increment the first digit (mod 10).
+            let Some(pos) = example.find(|c: char| c.is_ascii_digit()) else {
+                continue;
+            };
+            let mut bytes = example.clone().into_bytes();
+            bytes[pos] = b'0' + ((bytes[pos] - b'0') + 1) % 10;
+            let corrupted = String::from_utf8(bytes).unwrap();
+            total += 1;
+            if !(ty.validate)(&corrupted) {
+                broken += 1;
+            }
+        }
+        assert!(
+            broken * 10 >= total * 9,
+            "{slug}: only {broken}/{total} single-digit corruptions detected"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Semantic transformations (paper §7.1 / Figure 4 / Table 3): once a type
+//! is detected, the intermediate values of the mined functions become
+//! type-specific derived columns — card brand from credit-card numbers,
+//! country from IBANs, year/month/day from dates.
+//!
+//! ```sh
+//! cargo run --release --example transformations
+//! ```
+
+use autotype::{AutoType, AutoTypeConfig, NegativeMode};
+use autotype_corpus::{build_corpus, CorpusConfig};
+use autotype_rank::Method;
+use autotype_typesys::by_slug;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let engine = AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default());
+    let mut rng = StdRng::seed_from_u64(99);
+
+    for slug in ["creditcard", "iban", "datetime", "url", "vin"] {
+        let ty = by_slug(slug).unwrap();
+        let positives = ty.examples(&mut rng, 12);
+        let Some(mut session) =
+            engine.session(ty.keyword(), &positives, NegativeMode::Hierarchy, &mut rng)
+        else {
+            continue;
+        };
+        let ranked = session.rank(Method::DnfS);
+        println!("== {} ==", ty.name);
+        // Harvest from the top relevant functions (paper: top-10).
+        let mut shown = std::collections::BTreeSet::new();
+        for f in ranked.iter().take(16).cloned().collect::<Vec<_>>() {
+            if f.intent != Some(ty.slug) {
+                continue;
+            }
+            for t in session.transformations(&f) {
+                if !shown.insert(t.name.clone()) {
+                    continue;
+                }
+                let preview: Vec<String> = t
+                    .values
+                    .iter()
+                    .flatten()
+                    .take(3)
+                    .cloned()
+                    .collect();
+                println!(
+                    "  {:<28} ({} distinct)  e.g. {}",
+                    t.name,
+                    t.distinct,
+                    preview.join(", ")
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate for the AutoType reproduction workspace.
+//!
+//! This package exists to host the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. The actual library
+//! surface lives in the [`autotype`] facade crate and the substrate crates
+//! it re-exports.
+
+pub use autotype as engine;

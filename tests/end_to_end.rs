@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: the whole pipeline, substrate to
+//! synthesized validator, exercised on real benchmark types.
+
+use autotype::{AutoType, AutoTypeConfig, NegativeMode};
+use autotype_corpus::{build_corpus, CorpusConfig};
+use autotype_negative::Strategy;
+use autotype_rank::Method;
+use autotype_typesys::{by_slug, Coverage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engine() -> AutoType {
+    AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default())
+}
+
+fn positives(slug: &str, n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    by_slug(slug).unwrap().examples(&mut rng, n)
+}
+
+/// Checksum-backed types must separate at S1 (mutate-preserve-structure):
+/// digit substitutions break the checksum (paper §6).
+#[test]
+fn checksum_types_separate_at_s1() {
+    let engine = engine();
+    for (slug, keyword) in [
+        ("creditcard", "credit card"),
+        ("isbn", "ISBN"),
+        ("vin", "VIN"),
+        ("iban", "IBAN number"),
+    ] {
+        let mut rng = StdRng::seed_from_u64(31);
+        let pos = positives(slug, 20, 100 + slug.len() as u64);
+        let session = engine
+            .session(keyword, &pos, NegativeMode::Hierarchy, &mut rng)
+            .unwrap_or_else(|| panic!("{slug}: no session"));
+        assert_eq!(session.strategy, Some(Strategy::S1), "{slug}");
+    }
+}
+
+/// Structure-delimited types (punctuation carries the structure) need S2
+/// (paper Example 6 uses IPv6).
+#[test]
+fn structural_types_escalate_to_s2() {
+    let engine = engine();
+    for (slug, keyword) in [("ipv6", "IPv6"), ("datetime", "date time")] {
+        let mut rng = StdRng::seed_from_u64(33);
+        let pos = positives(slug, 20, 200 + slug.len() as u64);
+        let session = engine
+            .session(keyword, &pos, NegativeMode::Hierarchy, &mut rng)
+            .unwrap_or_else(|| panic!("{slug}: no session"));
+        assert!(
+            session.strategy == Some(Strategy::S2) || session.strategy == Some(Strategy::S1),
+            "{slug} used {:?}",
+            session.strategy
+        );
+    }
+}
+
+/// Alphabet-constrained types (gene sequences, Roman numerals) need S3.
+#[test]
+fn alphabet_types_escalate_beyond_s1() {
+    let engine = engine();
+    let mut rng = StdRng::seed_from_u64(35);
+    let pos = positives("roman", 20, 300);
+    let session = engine
+        .session("roman number", &pos, NegativeMode::Hierarchy, &mut rng)
+        .expect("roman session");
+    assert!(
+        session.strategy >= Some(Strategy::S2),
+        "roman numerals need at least S2/S3, used {:?}",
+        session.strategy
+    );
+}
+
+/// The synthesized validator generalizes to unseen positives and rejects
+/// near-misses — the generalization argument behind k-concise DNFs (§5.2).
+#[test]
+fn synthesized_validators_generalize() {
+    let engine = engine();
+    for (slug, keyword, bad) in [
+        ("isbn", "ISBN", "9784063641562"),
+        ("issn", "ISSN", "03784372"),
+        ("ipv4", "IPv4", "256.1.2.3"),
+        ("email", "email address", "not an email"),
+    ] {
+        let mut rng = StdRng::seed_from_u64(37);
+        let pos = positives(slug, 20, 400 + slug.len() as u64);
+        let mut session = engine
+            .session(keyword, &pos, NegativeMode::Hierarchy, &mut rng)
+            .unwrap_or_else(|| panic!("{slug}"));
+        let ranked = session.rank(Method::DnfS);
+        let top = ranked
+            .first()
+            .cloned()
+            .unwrap_or_else(|| panic!("{slug}: empty ranking"));
+        assert_eq!(top.intent, Some(slug), "{slug} top-1 = {}", top.label);
+        // Fresh positives, never seen during synthesis.
+        let fresh = positives(slug, 6, 9000 + slug.len() as u64);
+        let mut ok = 0;
+        for v in &fresh {
+            if session.validate(&top, v) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 5, "{slug}: only {ok}/6 fresh positives accepted");
+        assert!(!session.validate(&top, bad), "{slug} accepted {bad:?}");
+    }
+}
+
+/// All six invocation variants of Appendix D.1 surface as candidates for a
+/// popular type and agree on validity.
+#[test]
+fn invocation_variants_are_all_discovered() {
+    let engine = engine();
+    let mut rng = StdRng::seed_from_u64(41);
+    let pos = positives("creditcard", 20, 555);
+    let mut session = engine
+        .session("credit card", &pos, NegativeMode::Hierarchy, &mut rng)
+        .unwrap();
+    let ranked = session.rank(Method::DnfS);
+    let labels: Vec<&str> = ranked.iter().map(|f| f.label.as_str()).collect();
+    // At least a plain function and one wrapped variant must rank.
+    assert!(labels.iter().any(|l| l.contains("is_valid_card")), "{labels:?}");
+    assert!(
+        labels
+            .iter()
+            .any(|l| l.contains("main_from") || l.contains("Checker") || l.contains("Validator") || l.contains("script")),
+        "{labels:?}"
+    );
+}
+
+/// The 24 NoCode benchmark types must synthesize nothing relevant, and the
+/// 4 unsupported-invocation types must fail despite relevant code existing
+/// (paper §8.2.2).
+#[test]
+fn uncovered_types_stay_uncovered() {
+    let engine = engine();
+    for ty in autotype_typesys::registry() {
+        if ty.coverage == Coverage::Covered {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(43);
+        let pos = ty.examples(&mut rng, 10);
+        if let Some(mut session) =
+            engine.session(ty.keyword(), &pos, NegativeMode::Hierarchy, &mut rng)
+        {
+            let ranked = session.rank(Method::DnfS);
+            let relevant = ranked
+                .iter()
+                .filter(|f| f.intent == Some(ty.slug) && f.score > 0.8)
+                .count();
+            assert_eq!(relevant, 0, "{} should not be synthesizable", ty.name);
+        }
+    }
+}
+
+/// Determinism: the same seed reproduces the same ranking end to end.
+#[test]
+fn pipeline_is_deterministic() {
+    let engine = engine();
+    let pos = positives("zipcode", 20, 77);
+    let labels = |seed: u64| -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut session = engine
+            .session("US zipcode", &pos, NegativeMode::Hierarchy, &mut rng)
+            .unwrap();
+        session.rank(Method::DnfS).iter().map(|f| f.label.clone()).collect()
+    };
+    assert_eq!(labels(5), labels(5));
+}
