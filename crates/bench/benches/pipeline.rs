@@ -2,7 +2,7 @@
 //! structure behind Figure 14 (search → trace → rank) is measurable.
 
 use autotype::NegativeMode;
-use autotype_bench::{session_for, standard_engine};
+use autotype_bench::{engine_with_workers, session_for, standard_engine};
 use autotype_rank::Method;
 use autotype_typesys::by_slug;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -17,21 +17,31 @@ fn bench_retrieval(c: &mut Criterion) {
 }
 
 fn bench_session_build(c: &mut Criterion) {
-    let engine = standard_engine();
     let ty = by_slug("creditcard").unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     let positives = ty.examples(&mut rng, 20);
     let mut group = c.benchmark_group("session");
     group.sample_size(10);
-    group.bench_function("build_trace_rank_creditcard", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(4);
-            let mut session = engine
-                .session("credit card", &positives, NegativeMode::Hierarchy, &mut rng)
-                .unwrap();
-            std::hint::black_box(session.rank(Method::DnfS))
-        })
-    });
+    // Sweep the trace-execution worker count: `workers = 1` is the exact
+    // serial loop, higher counts shard the candidate × example hot phase.
+    // Output is bit-identical at every count, so this measures pure
+    // scheduling/merge overhead vs. parallel speedup.
+    for workers in [1usize, 2, 4, 8] {
+        let engine = engine_with_workers(workers);
+        group.bench_with_input(
+            BenchmarkId::new("build_trace_rank_creditcard", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(4);
+                    let mut session = engine
+                        .session("credit card", &positives, NegativeMode::Hierarchy, &mut rng)
+                        .unwrap();
+                    std::hint::black_box(session.rank(Method::DnfS))
+                })
+            },
+        );
+    }
     group.finish();
 }
 

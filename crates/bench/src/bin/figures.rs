@@ -4,14 +4,19 @@
 //! figures [experiment] [--full]
 //!
 //! experiments: fig8 fig9 fig10a fig10b fig10c fig12 fig13 fig14
-//!              table2 table3 all
+//!              table2 table3 all bench-json
 //! ```
+//!
+//! `bench-json` is not part of `all`: it sweeps the trace-engine worker
+//! count over a few representative types and writes per-stage wall-clock
+//! timings to `BENCH_pipeline.json` (figures themselves are bit-identical
+//! at every worker count; only the timings vary).
 //!
 //! Without `--full`, sweeps run over the 20 popular types and a scaled
 //! table corpus so the whole suite finishes in minutes; `--full` evaluates
 //! all 112 benchmark types and the full-scale column corpus.
 
-use autotype_bench::standard_engine;
+use autotype_bench::{engine_with_workers, standard_engine};
 use autotype_eval as eval;
 use autotype_eval::EvalConfig;
 use autotype_rank::Method;
@@ -25,6 +30,11 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .unwrap_or("all");
+
+    if which == "bench-json" {
+        bench_json();
+        return;
+    }
 
     let engine = standard_engine();
     let cfg = EvalConfig::default();
@@ -210,4 +220,48 @@ fn main() {
         );
         println!();
     }
+}
+
+/// Sweep the trace-engine worker count and record per-stage wall-clock
+/// timings. Written as hand-rolled JSON: the repo is dependency-free by
+/// policy and the schema is four numbers per row.
+fn bench_json() {
+    let cfg = EvalConfig::default();
+    let slugs = ["creditcard", "ipv6", "isbn"];
+    let mut rows: Vec<eval::StageTimings> = Vec::new();
+    println!("== bench-json: per-stage timings across worker counts ==");
+    for workers in [1usize, 2, 4, 8] {
+        let engine = engine_with_workers(workers);
+        for slug in slugs {
+            let Some(t) = eval::pipeline_timings(&engine, slug, &cfg) else {
+                eprintln!("  skipped {slug} at workers={workers}: no session");
+                continue;
+            };
+            println!(
+                "workers={:<2} {:<12} retrieval {:>8.3} ms  trace {:>9.3} ms  rank {:>8.3} ms  validate {:>8.3} ms  ({} ranked, fuel {})",
+                t.workers, t.slug, t.retrieval_ms, t.trace_ms, t.rank_ms, t.validate_ms, t.ranked, t.fuel_spent
+            );
+            rows.push(t);
+        }
+    }
+    let mut out = String::from(
+        "{\n  \"bench\": \"pipeline_stage_timings\",\n  \"unit\": \"ms\",\n  \"stages\": [\"retrieval\", \"trace\", \"rank\", \"validate\"],\n  \"rows\": [\n",
+    );
+    for (i, t) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"slug\": \"{}\", \"workers\": {}, \"retrieval_ms\": {:.3}, \"trace_ms\": {:.3}, \"rank_ms\": {:.3}, \"validate_ms\": {:.3}, \"ranked\": {}, \"fuel_spent\": {}}}{}\n",
+            t.slug,
+            t.workers,
+            t.retrieval_ms,
+            t.trace_ms,
+            t.rank_ms,
+            t.validate_ms,
+            t.ranked,
+            t.fuel_spent,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_pipeline.json", &out).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json ({} rows)", rows.len());
 }

@@ -11,6 +11,16 @@ pub fn standard_engine() -> AutoType {
     AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default())
 }
 
+/// Build an engine with an explicit trace-execution worker count
+/// (`workers = 1` is the exact serial path).
+pub fn engine_with_workers(workers: usize) -> AutoType {
+    let config = AutoTypeConfig {
+        workers,
+        ..AutoTypeConfig::default()
+    };
+    AutoType::new(build_corpus(&CorpusConfig::default()), config)
+}
+
 /// A ready-made synthesis session for a type (panics if retrieval fails —
 /// only used for covered types).
 pub fn session_for<'a>(engine: &'a AutoType, slug: &str, n_pos: usize, seed: u64) -> (Session<'a>, &'static SemanticType) {

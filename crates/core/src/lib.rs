@@ -38,7 +38,7 @@ use std::collections::BTreeSet;
 use autotype_corpus::{Corpus, Quality};
 use autotype_dnf::CoverParams;
 use autotype_exec::{
-    analyze_module, featurize, Candidate, EntryPoint, Executor, Literal, PackageIndex,
+    analyze_module, featurize, Candidate, EntryPoint, ExecPool, Executor, Literal, PackageIndex,
 };
 use autotype_lang::Program;
 use autotype_negative::{
@@ -64,6 +64,12 @@ pub struct AutoTypeConfig {
     pub cover: CoverParams,
     /// Mutation configuration for negative generation.
     pub mutation: MutationConfig,
+    /// Worker threads for the candidate × example trace-collection loop.
+    /// Defaults to the machine's available parallelism. `1` takes the exact
+    /// serial code path (no threads); any other count produces bit-identical
+    /// sessions — traces, rankings, fuel accounting, and figures do not
+    /// depend on this knob.
+    pub workers: usize,
 }
 
 impl Default for AutoTypeConfig {
@@ -73,6 +79,7 @@ impl Default for AutoTypeConfig {
             fuel: 300_000,
             cover: CoverParams::default(),
             mutation: MutationConfig::default(),
+            workers: autotype_exec::default_workers(),
         }
     }
 }
@@ -113,12 +120,15 @@ pub struct RankedFunction {
     pub quality: Quality,
 }
 
-/// The engine: corpus + search indexes + package index.
+/// The engine: corpus + search indexes + package index + execution pool.
 pub struct AutoType {
     corpus: Corpus,
     github: SearchEngine,
     bing: SearchEngine,
     packages: PackageIndex,
+    /// The trace-collection pool, shared by every session of this engine
+    /// (evaluation drivers that loop over many types reuse it for free).
+    pool: ExecPool,
     pub config: AutoTypeConfig,
 }
 
@@ -174,12 +184,18 @@ impl AutoType {
             github,
             bing,
             packages,
+            pool: ExecPool::new(config.workers),
             config,
         }
     }
 
     pub fn corpus(&self) -> &Corpus {
         &self.corpus
+    }
+
+    /// Worker count of the trace-collection pool (1 = serial path).
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
     }
 
     /// Keyword retrieval: union of top-k from both engines (§4.1).
@@ -344,8 +360,28 @@ impl<'a> Session<'a> {
     /// (full trace set, black-box trace set) pairs aligned with
     /// `self.candidates`. The black-box view records only the summarized
     /// final result (or escaping exception) — the RET baseline's input.
+    ///
+    /// With `workers > 1` the work is sharded across the engine's
+    /// [`ExecPool`]; the merge is index-ordered and the sharding respects
+    /// executor ownership, so the output (including `fuel_spent` and
+    /// `installs`) is bit-identical to the serial path for every worker
+    /// count.
     #[allow(clippy::type_complexity)]
     fn run_all(
+        &mut self,
+        inputs: &[String],
+    ) -> Vec<(Vec<BTreeSet<Literal>>, Vec<BTreeSet<Literal>>)> {
+        if self.engine.pool.workers() == 1 {
+            self.run_all_serial(inputs)
+        } else {
+            self.run_all_parallel(inputs)
+        }
+    }
+
+    /// The reference implementation: one candidate after another on one
+    /// thread. `workers = 1` runs exactly this code.
+    #[allow(clippy::type_complexity)]
+    fn run_all_serial(
         &mut self,
         inputs: &[String],
     ) -> Vec<(Vec<BTreeSet<Literal>>, Vec<BTreeSet<Literal>>)> {
@@ -379,6 +415,149 @@ impl<'a> Session<'a> {
                 out[ci].0.push(featurize(&outcome.trace));
                 out[ci].1.push(bb);
             }
+        }
+        out
+    }
+
+    /// Parallel trace collection with a deterministic merge.
+    ///
+    /// Sharding unit: candidates run against the *same* executor form one
+    /// job, because dynamic package installs append files to the executor's
+    /// program and file ids (hence every `SiteId` in every trace) depend on
+    /// the install order — so a potentially-installing executor must evolve
+    /// serially, in candidate order, exactly as in the serial loop.
+    /// Executors that are provably install-closed cannot change at all, so
+    /// their candidates are split into per-candidate jobs over cheap
+    /// (`Arc`-shallow) executor clones for better load balancing.
+    ///
+    /// Merging is by candidate index; `fuel_spent` is a commutative sum and
+    /// `installs` a monotone max over executors, so both match the serial
+    /// accounting bit for bit.
+    #[allow(clippy::type_complexity)]
+    fn run_all_parallel(
+        &mut self,
+        inputs: &[String],
+    ) -> Vec<(Vec<BTreeSet<Literal>>, Vec<BTreeSet<Literal>>)> {
+        struct Job {
+            slot: usize,
+            exec: Executor,
+            cands: Vec<usize>,
+            /// Whether `exec` is the slot's real executor (returned after
+            /// the job) rather than a disposable install-closed clone.
+            owns_slot: bool,
+        }
+        struct JobOut {
+            slot: usize,
+            exec: Option<Executor>,
+            fuel: u64,
+            per_cand: Vec<(usize, (Vec<BTreeSet<Literal>>, Vec<BTreeSet<Literal>>))>,
+        }
+
+        // Group candidate indices by executor slot. Candidates are created
+        // repo by repo, so each group is a contiguous, ordered slice of the
+        // serial execution order.
+        let executors = std::mem::take(&mut self.executors);
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); executors.len()];
+        for (ci, sc) in self.candidates.iter().enumerate() {
+            let slot = executors
+                .iter()
+                .position(|(repo, _)| *repo == sc.repo)
+                .expect("executor for repository");
+            groups[slot].push(ci);
+        }
+
+        let packages = &self.engine.packages;
+        let mut slots: Vec<(usize, Option<Executor>)> = Vec::with_capacity(executors.len());
+        let mut jobs: Vec<Job> = Vec::new();
+        for (slot, ((repo, exec), cands)) in executors.into_iter().zip(groups).enumerate() {
+            if cands.is_empty() {
+                slots.push((repo, Some(exec)));
+            } else if exec.install_closed(packages) {
+                for ci in cands {
+                    jobs.push(Job {
+                        slot,
+                        exec: exec.clone(),
+                        cands: vec![ci],
+                        owns_slot: false,
+                    });
+                }
+                slots.push((repo, Some(exec)));
+            } else {
+                jobs.push(Job {
+                    slot,
+                    exec,
+                    cands,
+                    owns_slot: true,
+                });
+                slots.push((repo, None));
+            }
+        }
+        // Longest-processing-time-first: start the biggest jobs early so no
+        // worker is left holding a large group at the tail. Stable, so ties
+        // keep their discovery order (merge order is index-based anyway).
+        jobs.sort_by_key(|j| std::cmp::Reverse(j.cands.len()));
+
+        let candidates = &self.candidates;
+        let results = self.engine.pool.run_ordered(jobs, |_, job| {
+            let Job {
+                slot,
+                mut exec,
+                cands,
+                owns_slot,
+            } = job;
+            let mut fuel = 0u64;
+            let mut per_cand = Vec::with_capacity(cands.len());
+            for ci in cands {
+                let sc = &candidates[ci];
+                let mut full = Vec::with_capacity(inputs.len());
+                let mut bbs = Vec::with_capacity(inputs.len());
+                for input in inputs {
+                    let outcome = exec.run(&sc.candidate, input, packages);
+                    fuel += outcome.fuel_used;
+                    let mut bb = BTreeSet::new();
+                    match &outcome.result {
+                        Ok(value) => {
+                            bb.insert(Literal::Ret {
+                                site: autotype_lang::SiteId::new(u32::MAX, 0),
+                                value: autotype_lang::ValueSummary::of(value),
+                            });
+                        }
+                        Err(e) => {
+                            bb.insert(Literal::Exception {
+                                kind: e.kind.clone(),
+                            });
+                        }
+                    }
+                    full.push(featurize(&outcome.trace));
+                    bbs.push(bb);
+                }
+                per_cand.push((ci, (full, bbs)));
+            }
+            JobOut {
+                slot,
+                exec: owns_slot.then_some(exec),
+                fuel,
+                per_cand,
+            }
+        });
+
+        let mut out: Vec<(Vec<BTreeSet<Literal>>, Vec<BTreeSet<Literal>>)> =
+            vec![(Vec::new(), Vec::new()); self.candidates.len()];
+        for result in results {
+            self.fuel_spent += result.fuel;
+            if let Some(exec) = result.exec {
+                slots[result.slot].1 = Some(exec);
+            }
+            for (ci, pair) in result.per_cand {
+                out[ci] = pair;
+            }
+        }
+        self.executors = slots
+            .into_iter()
+            .map(|(repo, exec)| (repo, exec.expect("every executor slot restored")))
+            .collect();
+        for (_, exec) in &self.executors {
+            self.installs = self.installs.max(exec.installs);
         }
         out
     }

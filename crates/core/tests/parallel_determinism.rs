@@ -1,0 +1,108 @@
+//! The parallel trace engine's core guarantee: any worker count produces a
+//! session bit-identical to the serial (`workers = 1`) path — same accepted
+//! mutation strategy, same ranked functions and scores, same DNF
+//! explanations, same validator verdicts, same fuel/install accounting.
+
+use autotype::{AutoType, AutoTypeConfig, NegativeMode};
+use autotype_corpus::{build_corpus, CorpusConfig};
+use autotype_rank::Method;
+use autotype_typesys::by_slug;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engine(workers: usize) -> AutoType {
+    let config = AutoTypeConfig {
+        workers,
+        ..AutoTypeConfig::default()
+    };
+    AutoType::new(build_corpus(&CorpusConfig::default()), config)
+}
+
+/// Everything observable about a session, rendered to comparable form.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    strategy: String,
+    negatives: Vec<String>,
+    fuel_spent: u64,
+    installs: usize,
+    /// (label, score, neg_fraction, explanation) per ranked function.
+    ranking: Vec<(String, f64, f64, String)>,
+    /// Validator verdicts of the top function on probe inputs.
+    verdicts: Vec<bool>,
+}
+
+fn snapshot(engine: &AutoType, keyword: &str, slug: &str, seed: u64) -> Snapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positives = {
+        let mut prng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+        by_slug(slug).unwrap().examples(&mut prng, 12)
+    };
+    let mut session = engine
+        .session(keyword, &positives, NegativeMode::Hierarchy, &mut rng)
+        .unwrap_or_else(|| panic!("{slug}: no session"));
+    let strategy = format!("{:?}", session.strategy);
+    let negatives = session.negatives.clone();
+    let ranking: Vec<(String, f64, f64, String)> = session
+        .rank(Method::DnfS)
+        .iter()
+        .map(|f| (f.label.clone(), f.score, f.neg_fraction, f.explanation.clone()))
+        .collect();
+    let top = session.rank(Method::DnfS).into_iter().next().expect("ranked");
+    let probes = {
+        let mut prng = StdRng::seed_from_u64(seed ^ 0xD00D);
+        let mut p = by_slug(slug).unwrap().examples(&mut prng, 4);
+        p.push("definitely not a valid value !!".to_string());
+        p
+    };
+    let verdicts = probes.iter().map(|p| session.validate(&top, p)).collect();
+    Snapshot {
+        strategy,
+        negatives,
+        fuel_spent: session.fuel_spent,
+        installs: session.installs,
+        ranking,
+        verdicts,
+    }
+}
+
+#[test]
+fn every_worker_count_matches_the_serial_session() {
+    let serial = engine(1);
+    let cases = [
+        ("credit card", "creditcard", 101u64),
+        ("IPv6", "ipv6", 202),
+        ("US zipcode", "zipcode", 303),
+    ];
+    let baselines: Vec<Snapshot> = cases
+        .iter()
+        .map(|(kw, slug, seed)| snapshot(&serial, kw, slug, *seed))
+        .collect();
+    // The serial session must actually rank something, or the comparison
+    // below is vacuous.
+    for (b, (_, slug, _)) in baselines.iter().zip(&cases) {
+        assert!(!b.ranking.is_empty(), "{slug}: empty serial ranking");
+        assert!(b.fuel_spent > 0, "{slug}: no fuel spent");
+    }
+
+    for workers in [2, 4, 8] {
+        let parallel = engine(workers);
+        for (baseline, (kw, slug, seed)) in baselines.iter().zip(&cases) {
+            let got = snapshot(&parallel, kw, slug, *seed);
+            assert_eq!(
+                &got, baseline,
+                "{slug} (seed {seed}): workers={workers} diverged from serial"
+            );
+        }
+    }
+}
+
+/// Re-running the same session twice on a multi-worker engine is also
+/// self-consistent (executors are restored to their slots after each batch,
+/// so later sessions see identical starting state).
+#[test]
+fn parallel_sessions_are_repeatable() {
+    let engine = engine(4);
+    let a = snapshot(&engine, "ISBN", "isbn", 404);
+    let b = snapshot(&engine, "ISBN", "isbn", 404);
+    assert_eq!(a, b);
+}

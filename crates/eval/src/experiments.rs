@@ -223,8 +223,8 @@ pub fn sensitivity_examples(
         let Some(mut session) =
             build_session(engine, ty, ty.keyword(), &positives, NegativeMode::Hierarchy, cfg.seed)
         else {
-            for k in 0..4 {
-                per_k[k].push(0.0);
+            for xs in per_k.iter_mut() {
+                xs.push(0.0);
             }
             continue;
         };
@@ -259,8 +259,8 @@ pub fn fig10c(
             let Some(mut session) =
                 build_session(engine, ty, ty.keyword(), &positives, mode, cfg.seed)
             else {
-                for k in 0..4 {
-                    per_k[k].push(0.0);
+                for xs in per_k.iter_mut() {
+                    xs.push(0.0);
                 }
                 continue;
             };
@@ -286,12 +286,12 @@ pub fn fig10c(
     out
 }
 
+/// Per-keyword rows of Figure 12: (keyword, precision@1..=4).
+pub type KeywordRows = Vec<(&'static str, Vec<f64>)>;
+
 /// Figure 12: keyword sensitivity — precision@1..=4 for each alternative
 /// keyword of each sampled type.
-pub fn fig12(
-    engine: &AutoType,
-    cfg: &EvalConfig,
-) -> Vec<(&'static str, Vec<(&'static str, Vec<f64>)>)> {
+pub fn fig12(engine: &AutoType, cfg: &EvalConfig) -> Vec<(&'static str, KeywordRows)> {
     const FIG12_TYPES: &[&str] = &[
         "isbn", "ipv4", "swift", "zipcode", "sedol", "isin", "vin", "rgbcolor", "fasta", "doi",
     ];
@@ -522,4 +522,67 @@ pub fn types_by_slugs(slugs: &[&str]) -> Vec<&'static SemanticType> {
         .iter()
         .map(|s| by_slug(s).expect("known slug"))
         .collect()
+}
+
+/// Per-stage wall-clock timings of one synthesis session, in milliseconds.
+/// The clock readings vary run to run, but every *output* measured here
+/// (ranking, fuel, verdicts) is deterministic at any worker count.
+#[derive(Debug, Clone)]
+pub struct StageTimings {
+    pub slug: String,
+    /// Trace-engine worker count the engine was built with.
+    pub workers: usize,
+    pub retrieval_ms: f64,
+    /// Session build: negative generation + the candidate × example
+    /// traced-execution hot loop (the stage the worker pool shards).
+    pub trace_ms: f64,
+    pub rank_ms: f64,
+    pub validate_ms: f64,
+    /// Functions in the final DNF-S ranking.
+    pub ranked: usize,
+    pub fuel_spent: u64,
+}
+
+/// Time each pipeline stage for one type on the given engine. Returns
+/// `None` when retrieval or session construction fails for the type.
+pub fn pipeline_timings(engine: &AutoType, slug: &str, cfg: &EvalConfig) -> Option<StageTimings> {
+    let ms = |t: std::time::Instant| t.elapsed().as_secs_f64() * 1e3;
+    let ty = by_slug(slug)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ ty.id as u64);
+    let positives = ty.examples(&mut rng, cfg.n_pos);
+
+    let t = std::time::Instant::now();
+    let hits = engine.retrieve(ty.keyword());
+    let retrieval_ms = ms(t);
+    if hits.is_empty() {
+        return None;
+    }
+
+    let t = std::time::Instant::now();
+    let mut session = engine.session(ty.keyword(), &positives, NegativeMode::Hierarchy, &mut rng)?;
+    let trace_ms = ms(t);
+
+    let t = std::time::Instant::now();
+    let ranked = session.rank(Method::DnfS);
+    let rank_ms = ms(t);
+
+    let t = std::time::Instant::now();
+    if let Some(top) = ranked.first() {
+        let mut prng = StdRng::seed_from_u64(cfg.seed ^ 0xBE7C);
+        for probe in ty.examples(&mut prng, cfg.n_test_pos) {
+            std::hint::black_box(session.validate(top, &probe));
+        }
+    }
+    let validate_ms = ms(t);
+
+    Some(StageTimings {
+        slug: slug.to_string(),
+        workers: engine.workers(),
+        retrieval_ms,
+        trace_ms,
+        rank_ms,
+        validate_ms,
+        ranked: ranked.len(),
+        fuel_spent: session.fuel_spent,
+    })
 }

@@ -5,7 +5,7 @@
 
 use std::collections::BTreeSet;
 
-use autotype_lang::trace::{SiteId, TraceEvent, ValueSummary};
+use autotype_lang::trace::{SiteId, Trace, TraceEvent, ValueSummary};
 
 /// A binary trace literal — the `c_i` of Definition 2.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -51,10 +51,12 @@ impl std::fmt::Display for Literal {
     }
 }
 
-/// The set-based featurization `T(e)` of one execution trace.
-pub fn featurize(events: &[TraceEvent]) -> BTreeSet<Literal> {
+/// The set-based featurization `T(e)` of one execution trace. Interned
+/// exception kinds are resolved through the trace's own table, so literals
+/// from different programs (different intern orders) stay comparable.
+pub fn featurize(trace: &Trace) -> BTreeSet<Literal> {
     let mut out = BTreeSet::new();
-    for event in events {
+    for event in &trace.events {
         out.insert(match event {
             TraceEvent::Branch { site, taken } => Literal::Branch {
                 site: *site,
@@ -64,7 +66,9 @@ pub fn featurize(events: &[TraceEvent]) -> BTreeSet<Literal> {
                 site: *site,
                 value: *value,
             },
-            TraceEvent::Exception { kind } => Literal::Exception { kind: kind.clone() },
+            TraceEvent::Exception { kind } => Literal::Exception {
+                kind: trace.exc.name(*kind).to_string(),
+            },
         });
     }
     out
@@ -72,8 +76,8 @@ pub fn featurize(events: &[TraceEvent]) -> BTreeSet<Literal> {
 
 /// Only the return-value literals — the featurization of the RET baseline
 /// (§8.1), which treats functions as black boxes.
-pub fn featurize_returns_only(events: &[TraceEvent]) -> BTreeSet<Literal> {
-    featurize(events)
+pub fn featurize_returns_only(trace: &Trace) -> BTreeSet<Literal> {
+    featurize(trace)
         .into_iter()
         .filter(|l| matches!(l, Literal::Ret { .. } | Literal::Exception { .. }))
         .collect()
@@ -87,21 +91,24 @@ mod tests {
     fn duplicate_events_collapse_in_set_model() {
         // A loop evaluates the same branch many times; the set model keeps
         // one literal per (site, outcome).
-        let events = vec![
-            TraceEvent::Branch {
-                site: SiteId::new(0, 3),
-                taken: true,
-            },
-            TraceEvent::Branch {
-                site: SiteId::new(0, 3),
-                taken: true,
-            },
-            TraceEvent::Branch {
-                site: SiteId::new(0, 3),
-                taken: false,
-            },
-        ];
-        let t = featurize(&events);
+        let trace = Trace {
+            events: vec![
+                TraceEvent::Branch {
+                    site: SiteId::new(0, 3),
+                    taken: true,
+                },
+                TraceEvent::Branch {
+                    site: SiteId::new(0, 3),
+                    taken: true,
+                },
+                TraceEvent::Branch {
+                    site: SiteId::new(0, 3),
+                    taken: false,
+                },
+            ],
+            ..Trace::default()
+        };
+        let t = featurize(&trace);
         assert_eq!(t.len(), 2);
     }
 
@@ -120,7 +127,9 @@ mod tests {
 
     #[test]
     fn returns_only_filters_branches() {
-        let events = vec![
+        let mut trace = Trace::default();
+        let kind = trace.exc.intern("ValueError");
+        trace.events = vec![
             TraceEvent::Branch {
                 site: SiteId::new(0, 6),
                 taken: true,
@@ -129,13 +138,14 @@ mod tests {
                 site: SiteId::new(0, 20),
                 value: ValueSummary::Bool(true),
             },
-            TraceEvent::Exception {
-                kind: "ValueError".into(),
-            },
+            TraceEvent::Exception { kind },
         ];
-        let t = featurize_returns_only(&events);
+        let t = featurize_returns_only(&trace);
         assert_eq!(t.len(), 2);
         assert!(t.iter().all(|l| !matches!(l, Literal::Branch { .. })));
+        assert!(t.contains(&Literal::Exception {
+            kind: "ValueError".to_string()
+        }));
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //! execute-parse-install-rerun dependency loop of §4.2.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use autotype_lang::ast::{Expr, Stmt, Target};
 use autotype_lang::interp::{Interp, Io, Program};
-use autotype_lang::trace::TraceEvent;
+use autotype_lang::trace::Trace;
 use autotype_lang::value::Value;
 use autotype_lang::PyError;
 
@@ -37,8 +38,9 @@ impl PackageIndex {
 /// Result of one traced run of a candidate on one input.
 #[derive(Debug)]
 pub struct RunOutcome {
-    /// Branch / return / exception events from the run.
-    pub trace: Vec<TraceEvent>,
+    /// Branch / return / exception events from the run (plus the table
+    /// resolving interned exception kinds).
+    pub trace: Trace,
     /// The top-level result (error kind if the run failed).
     pub result: Result<Value, PyError>,
     /// Deterministic execution cost (stand-in for wall-clock).
@@ -58,6 +60,11 @@ impl RunOutcome {
 }
 
 /// Executes candidates against a repository program.
+///
+/// Cloning is cheap — the program's parsed files sit behind `Arc` — so the
+/// parallel trace engine can hand each worker its own executor while sharing
+/// every AST (parse once, execute many).
+#[derive(Debug, Clone)]
 pub struct Executor {
     /// The repository program, with statically-resolvable dependencies
     /// already installed.
@@ -107,6 +114,23 @@ impl Executor {
         &self.program
     }
 
+    /// Whether no run of any candidate can ever mutate this executor by
+    /// dynamically installing a package — i.e. every `import` appearing
+    /// anywhere in the program (including inside function bodies) is either
+    /// already satisfied or not available in the index. Install-closed
+    /// executors can be cloned and run concurrently with bit-identical file
+    /// ids; executors that may still install must evolve serially so the
+    /// order in which files are appended stays deterministic.
+    pub fn install_closed(&self, packages: &PackageIndex) -> bool {
+        self.program.files.iter().all(|f| {
+            f.module.all_imports().iter().all(|module| {
+                *module == "sys"
+                    || self.program.file_id(module).is_some()
+                    || packages.get(module).is_none()
+            })
+        })
+    }
+
     /// Run a candidate on one input string, tracing the execution. Applies
     /// the dynamic install loop when an `ImportError` names a package that
     /// exists in the index.
@@ -135,10 +159,12 @@ impl Executor {
 
     fn run_once(&self, candidate: &Candidate, input: &str, installs: usize) -> RunOutcome {
         let file = candidate.file;
-        let mut io = Io::default();
         // Pre-populate implicit-parameter channels for variants 4-6.
-        io.argv = vec![input.to_string()];
-        io.stdin = Some(input.to_string());
+        let mut io = Io {
+            argv: vec![input.to_string()],
+            stdin: Some(input.to_string()),
+            ..Io::default()
+        };
         for name in open_targets(&self.program, file) {
             io.files.insert(name, input.to_string());
         }
@@ -319,10 +345,12 @@ fn collect_open_targets(body: &[Stmt], names: &mut Vec<String>) {
 }
 
 /// Replace the first module-level string-constant assignment to `variable`
-/// with the given input (Appendix D.1, Listing 3).
+/// with the given input (Appendix D.1, Listing 3). The program clone is
+/// shallow (files are `Arc`-shared); only the rewritten file's AST is
+/// copied, via `Arc::make_mut`.
 fn rewrite_script_constant(program: &Program, file: u32, variable: &str, input: &str) -> Program {
     let mut rewritten = program.clone();
-    let module = &mut rewritten.files[file as usize].module;
+    let module = &mut Arc::make_mut(&mut rewritten.files[file as usize]).module;
     for stmt in &mut module.body {
         if let Stmt::Assign {
             target: Target::Name(name),
@@ -343,6 +371,7 @@ fn rewrite_script_constant(program: &Program, file: u32, variable: &str, input: 
 mod tests {
     use super::*;
     use crate::analyze::analyze_module;
+    use autotype_lang::trace::TraceEvent;
 
     fn program_with(src: &str) -> Program {
         let mut p = Program::new();
@@ -364,7 +393,7 @@ mod tests {
         let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
         let out = exec.run(&cand, "abcdef", &PackageIndex::new());
         assert!(out.completed());
-        assert!(!out.trace.is_empty());
+        assert!(!out.trace.events.is_empty());
         assert_eq!(out.harvest, vec![("return".to_string(), "True".to_string())]);
     }
 
@@ -459,10 +488,7 @@ class Card:
         let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
         let out = exec.run(&cand, "x", &PackageIndex::new());
         assert!(!out.completed());
-        assert!(out
-            .trace
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Exception { kind } if kind == "ImportError")));
+        assert!(out.trace.has_exception("ImportError"));
     }
 
     #[test]
@@ -488,6 +514,7 @@ def f(s):
         // The branch inside helper (line 3) must appear in f's trace.
         assert!(out
             .trace
+            .events
             .iter()
             .any(|e| matches!(e, TraceEvent::Branch { site, taken: true } if site.line == 3)));
     }
@@ -499,10 +526,40 @@ def f(s):
         let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
         let out = exec.run(&cand, "not-a-number", &PackageIndex::new());
         assert!(!out.completed());
-        assert!(out
-            .trace
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Exception { kind } if kind == "ValueError")));
+        assert!(out.trace.has_exception("ValueError"));
+    }
+
+    #[test]
+    fn install_closed_tracks_remaining_installable_imports() {
+        let mut packages = PackageIndex::new();
+        packages.insert("latelib", "def f():\n    return 1\n");
+        // The import is buried inside a function body: invisible to the
+        // static top-level resolution, but the deep probe must see it.
+        let src = "def f(s):\n    import latelib\n    return latelib.f()\n";
+        let program = program_with(src);
+        let mut exec = Executor::new(program, &packages, FUEL);
+        assert!(!exec.install_closed(&packages));
+
+        // Importing something that is not in the index cannot install.
+        let program = program_with("def f(s):\n    import nosuchpkg\n    return s\n");
+        let exec2 = Executor::new(program, &packages, FUEL);
+        assert!(exec2.install_closed(&packages));
+
+        // After the dynamic install round, the executor becomes closed.
+        let cand = first_candidate(exec.program());
+        let out = exec.run(&cand, "x", &packages);
+        assert!(out.completed());
+        assert!(exec.install_closed(&packages));
+    }
+
+    #[test]
+    fn rewriting_shares_unrelated_files() {
+        let mut program = program_with("card = '4111111111111111'\nresult = len(card)\n");
+        program.add_file("other", "def g():\n    return 1\n").unwrap();
+        let rewritten = rewrite_script_constant(&program, 0, "card", "12345");
+        // Only the rewritten file's AST is copied.
+        assert!(!Arc::ptr_eq(&program.files[0], &rewritten.files[0]));
+        assert!(Arc::ptr_eq(&program.files[1], &rewritten.files[1]));
     }
 
     #[test]

@@ -12,11 +12,16 @@
 //!    execute-parse-install-rerun dependency loop of §4.2.
 //! 3. [`featurize`](crate::featurize::featurize) reduces each trace to the set of binary literals of
 //!    §5.2, ready for `autotype-dnf`.
+//! 4. [`pool`] shards batches of executor jobs across OS threads with a
+//!    deterministic, input-ordered merge — the parallel engine behind the
+//!    candidate × example hot loop.
 
 pub mod analyze;
 pub mod featurize;
 pub mod harness;
+pub mod pool;
 
 pub use analyze::{analyze_module, AnalysisStats, Candidate, EntryPoint};
 pub use featurize::{featurize, featurize_returns_only, Literal};
 pub use harness::{harvest_value, Executor, PackageIndex, RunOutcome};
+pub use pool::{default_workers, ExecPool};

@@ -1,0 +1,220 @@
+//! Scoped worker pool for the candidate × example trace-collection loop.
+//!
+//! The hot phase of a session executes every candidate function on every
+//! positive and negative example — thousands of independent interpreter
+//! runs. [`ExecPool::run_ordered`] shards a batch of jobs across N OS
+//! threads (std only: `std::thread::scope` plus a mutex-guarded work queue)
+//! and returns results **in input order**, so downstream consumers see
+//! exactly the sequence the serial loop would have produced.
+//!
+//! Determinism contract: if each job is a pure function of its input (the
+//! engine guarantees this by giving every job exclusive ownership of its
+//! executor), the merged output is bit-identical for every worker count,
+//! including `workers == 1`, which does not spawn any threads at all.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// A fixed-width execution pool. Cheap to construct; threads are scoped to
+/// each [`run_ordered`](ExecPool::run_ordered) call, so an idle pool holds
+/// no OS resources and the pool can be shared freely across sessions.
+#[derive(Debug, Clone)]
+pub struct ExecPool {
+    workers: usize,
+}
+
+impl ExecPool {
+    /// A pool with an explicit worker count (clamped to at least 1).
+    pub fn new(workers: usize) -> ExecPool {
+        ExecPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to the machine (`available_parallelism`, falling back
+    /// to 1 when the count cannot be determined).
+    pub fn with_default_workers() -> ExecPool {
+        ExecPool::new(default_workers())
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `work` over every item, in parallel across up to `workers`
+    /// threads, and return the results in input order.
+    ///
+    /// Items are claimed from a shared queue in input order, so with a
+    /// single worker the execution order is exactly the serial loop's.
+    /// A panic in any job is propagated to the caller with its original
+    /// payload after the scope unwinds.
+    pub fn run_ordered<T, R, F>(&self, items: Vec<T>, work: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.workers == 1 || n <= 1 {
+            // The exact serial code path: no threads, no queue, no locks.
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| work(i, item))
+                .collect();
+        }
+
+        let queue: Mutex<VecDeque<(usize, T)>> =
+            Mutex::new(items.into_iter().enumerate().collect());
+        let results: Mutex<Vec<Option<R>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        let work = &work;
+
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.workers.min(n))
+                .map(|_| {
+                    s.spawn(|| loop {
+                        // Hold the queue lock only for the pop: jobs are
+                        // chunky (whole executor groups), so contention on
+                        // this mutex is negligible.
+                        let job = queue.lock().unwrap().pop_front();
+                        let Some((index, item)) = job else {
+                            break;
+                        };
+                        let result = work(index, item);
+                        results.lock().unwrap()[index] = Some(result);
+                    })
+                })
+                .collect();
+            // Join explicitly so a worker panic resurfaces with its
+            // original payload instead of the scope's generic message.
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    panic.get_or_insert(payload);
+                }
+            }
+            if let Some(payload) = panic {
+                std::panic::resume_unwind(payload);
+            }
+        });
+
+        results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|slot| slot.expect("every queued job produces a result"))
+            .collect()
+    }
+}
+
+impl Default for ExecPool {
+    fn default() -> Self {
+        ExecPool::with_default_workers()
+    }
+}
+
+/// The machine's available parallelism (1 when undeterminable).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze_module;
+    use crate::harness::{Executor, PackageIndex};
+    use autotype_lang::Program;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        for workers in [1, 2, 4, 8] {
+            let pool = ExecPool::new(workers);
+            let items: Vec<usize> = (0..37).collect();
+            let out = pool.run_ordered(items, |i, x| {
+                assert_eq!(i, x);
+                x * 10
+            });
+            assert_eq!(out, (0..37).map(|x| x * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn queue_drains_every_item_exactly_once() {
+        let pool = ExecPool::new(4);
+        let executed = AtomicUsize::new(0);
+        let out = pool.run_ordered((0..100).collect::<Vec<usize>>(), |_, x| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(executed.load(Ordering::SeqCst), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = ExecPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.run_ordered(vec![5], |_, x: i32| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pool = ExecPool::new(4);
+        let out: Vec<i32> = pool.run_ordered(Vec::<i32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let pool = ExecPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_ordered((0..8).collect::<Vec<usize>>(), |_, x| {
+                if x == 3 {
+                    panic!("job 3 exploded");
+                }
+                x
+            });
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(message.contains("job 3 exploded"), "payload: {message}");
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_deterministic_under_parallelism() {
+        // Each job owns a clone of an executor whose candidate loops
+        // forever; every clone must burn exactly the same fuel.
+        let mut program = Program::new();
+        program
+            .add_file("spin", "def f(s):\n    while True:\n        s = s\n    return s\n")
+            .unwrap();
+        let (cands, _) = analyze_module(0, &program.file(0).module);
+        let cand = cands.into_iter().next().expect("candidate");
+        let packages = PackageIndex::new();
+        let exec = Executor::new(program, &packages, 10_000);
+
+        let mut burns: Vec<u64> = Vec::new();
+        for workers in [1, 4] {
+            let pool = ExecPool::new(workers);
+            let jobs: Vec<Executor> = (0..8).map(|_| exec.clone()).collect();
+            let fuel: Vec<u64> = pool.run_ordered(jobs, |_, mut e| {
+                let out = e.run(&cand, "x", &packages);
+                assert!(out.trace.has_exception("__FuelExhausted__"));
+                out.fuel_used
+            });
+            assert!(fuel.iter().all(|f| *f == 10_000), "full budget burned: {fuel:?}");
+            burns.push(fuel.iter().sum());
+        }
+        assert_eq!(burns[0], burns[1]);
+    }
+}

@@ -218,6 +218,45 @@ impl Module {
             .collect()
     }
 
+    /// Modules imported *anywhere* in the module, including inside function
+    /// bodies, class methods, and nested control flow. Used to decide
+    /// whether executing the module could ever trigger a dynamic package
+    /// install (the execute-parse-install-rerun loop of §4.2).
+    pub fn all_imports(&self) -> Vec<&str> {
+        fn walk<'a>(body: &'a [Stmt], out: &mut Vec<&'a str>) {
+            for s in body {
+                match s {
+                    Stmt::Import { module, .. } => out.push(module.as_str()),
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        walk(then_body, out);
+                        walk(else_body, out);
+                    }
+                    Stmt::While { body, .. } | Stmt::For { body, .. } => walk(body, out),
+                    Stmt::Try { body, handlers, .. } => {
+                        walk(body, out);
+                        for h in handlers {
+                            walk(&h.body, out);
+                        }
+                    }
+                    Stmt::FuncDef(f) => walk(&f.body, out),
+                    Stmt::ClassDef(c) => {
+                        for m in &c.methods {
+                            walk(&m.body, out);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.body, &mut out);
+        out
+    }
+
     /// True if the module has executable statements outside `def`/`class`
     /// (a "script" in AutoType's terminology, runnable standalone).
     pub fn has_script_body(&self) -> bool {

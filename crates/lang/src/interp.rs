@@ -17,11 +17,12 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::*;
 use crate::error::PyError;
 use crate::parser::{parse_source, ParseError};
-use crate::trace::{SiteId, TraceEvent, Tracer};
+use crate::trace::{SiteId, Trace, TraceEvent, Tracer};
 use crate::value::{ClassObj, Object, Value};
 
 /// A named, parsed source file inside a [`Program`].
@@ -34,9 +35,13 @@ pub struct SourceFile {
 
 /// A set of source files that can import each other — one crawled
 /// repository, plus any "pip-installed" packages the harness has added.
+///
+/// Files are stored behind `Arc`, so cloning a `Program` shares every parsed
+/// AST (parse once, execute many): clones are cheap enough to hand one
+/// executor per worker in the parallel trace engine.
 #[derive(Debug, Clone, Default)]
 pub struct Program {
-    pub files: Vec<SourceFile>,
+    pub files: Vec<Arc<SourceFile>>,
 }
 
 impl Program {
@@ -47,19 +52,19 @@ impl Program {
     /// Parse `source` and add it under `name`; returns the new file id.
     pub fn add_file(&mut self, name: &str, source: &str) -> Result<u32, ParseError> {
         let module = parse_source(source)?;
-        self.files.push(SourceFile {
+        self.files.push(Arc::new(SourceFile {
             name: name.to_string(),
             module,
-        });
+        }));
         Ok((self.files.len() - 1) as u32)
     }
 
     /// Add an already-parsed module.
     pub fn add_module(&mut self, name: &str, module: Module) -> u32 {
-        self.files.push(SourceFile {
+        self.files.push(Arc::new(SourceFile {
             name: name.to_string(),
             module,
-        });
+        }));
         (self.files.len() - 1) as u32
     }
 
@@ -168,14 +173,14 @@ impl<'p> Interp<'p> {
         }
     }
 
-    /// Replace the tracer, returning the events gathered so far.
-    pub fn reset_trace(&mut self) -> Vec<TraceEvent> {
-        std::mem::replace(&mut self.tracer, Tracer::new()).events
+    /// Replace the tracer, returning the trace gathered so far.
+    pub fn reset_trace(&mut self) -> Trace {
+        std::mem::replace(&mut self.tracer, Tracer::new()).into_trace()
     }
 
     /// Events recorded so far (without resetting).
     pub fn trace_events(&self) -> &[TraceEvent] {
-        &self.tracer.events
+        &self.tracer.trace.events
     }
 
     /// Disable instrumentation entirely.
@@ -329,6 +334,7 @@ impl<'p> Interp<'p> {
         self.charge(amount)
     }
 
+    #[inline]
     fn charge(&mut self, amount: u64) -> Result<(), PyError> {
         if self.fuel < amount {
             self.fuel = 0;
@@ -338,7 +344,14 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
+    /// Statement fuel is charged per *block* rather than per statement: one
+    /// decrement for the whole straight-line body instead of one per step.
+    /// Loops re-enter their body block every iteration (and `while`/`for`
+    /// charge the iteration itself), so runaway loops still exhaust fuel at
+    /// the same rate and fuel stays deterministic — an early `return` merely
+    /// pays for the statements it skips.
     fn exec_block(&mut self, body: &[Stmt], env: &mut Env) -> Result<Flow, PyError> {
+        self.charge(body.len() as u64)?;
         for stmt in body {
             match self.exec_stmt(stmt, env)? {
                 Flow::Normal => {}
@@ -349,7 +362,6 @@ impl<'p> Interp<'p> {
     }
 
     fn exec_stmt(&mut self, stmt: &Stmt, env: &mut Env) -> Result<Flow, PyError> {
-        self.charge(1)?;
         match stmt {
             Stmt::Expr(e) => {
                 self.eval(e, env)?;
@@ -1235,12 +1247,13 @@ def luhn(s):
         program.add_file("m", src).unwrap();
         let mut interp = Interp::new(&program);
         interp.call_function(0, "f", vec![Value::str("abc")]).unwrap();
-        let events = interp.reset_trace();
-        assert!(events.contains(&TraceEvent::Branch {
+        let trace = interp.reset_trace();
+        assert!(trace.events.contains(&TraceEvent::Branch {
             site: SiteId::new(0, 2),
             taken: true
         }));
-        assert!(events
+        assert!(trace
+            .events
             .iter()
             .any(|e| matches!(e, TraceEvent::Return { site, .. } if site.line == 3)));
     }
@@ -1255,10 +1268,7 @@ def luhn(s):
             .call_function(0, "f", vec![Value::str("notanint")])
             .unwrap_err();
         assert_eq!(err.kind, "ValueError");
-        let events = interp.reset_trace();
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Exception { kind } if kind == "ValueError")));
+        assert!(interp.reset_trace().has_exception("ValueError"));
     }
 
     #[test]

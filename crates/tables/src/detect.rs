@@ -20,11 +20,11 @@ pub struct Detection {
     pub slug: &'static str,
 }
 
+/// A named per-value predicate, as produced by validator synthesis.
+pub type ValueDetector<'a> = (&'static str, Box<dyn Fn(&str) -> bool + 'a>);
+
 /// Detect with per-type value predicates (the synthesized functions).
-pub fn detect_by_values(
-    columns: &[Column],
-    detectors: &[(&'static str, Box<dyn Fn(&str) -> bool + '_>)],
-) -> Vec<Detection> {
+pub fn detect_by_values(columns: &[Column], detectors: &[ValueDetector<'_>]) -> Vec<Detection> {
     let mut out = Vec::new();
     for (idx, column) in columns.iter().enumerate() {
         if column.values.is_empty() {

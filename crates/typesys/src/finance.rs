@@ -295,9 +295,8 @@ fn g_iban(rng: &mut StdRng) -> String {
         ("NL", 14),
     ];
     let (country, len) = COUNTRIES[rng.gen_range(0..COUNTRIES.len())];
-    let bban = if country == "GB" {
-        format!("{}{}", gen::upper(rng, 4), gen::digits(rng, len - 4))
-    } else if country == "NL" {
+    // GB and NL both lead the BBAN with a four-letter bank code.
+    let bban = if country == "GB" || country == "NL" {
         format!("{}{}", gen::upper(rng, 4), gen::digits(rng, len - 4))
     } else {
         gen::digits(rng, len)

@@ -445,8 +445,8 @@ fn v_geojson(s: &str) -> bool {
 }
 
 fn g_geojson(rng: &mut StdRng) -> String {
-    let lon = rng.gen_range(-180_00..180_00) as f64 / 100.0;
-    let lat = rng.gen_range(-90_00..90_00) as f64 / 100.0;
+    let lon = rng.gen_range(-18_000..18_000) as f64 / 100.0;
+    let lat = rng.gen_range(-9_000..9_000) as f64 / 100.0;
     match rng.gen_range(0..3) {
         0 => format!("{{\"type\": \"Point\", \"coordinates\": [{lon:.2}, {lat:.2}]}}"),
         1 => format!(

@@ -1,0 +1,670 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`],
+//! [`strategy::Strategy`] with `prop_map`, integer-range strategies,
+//! [`collection::vec`], and string strategies described by a small regex
+//! subset (character classes, groups with alternation, `?`/`*`/`+`/`{m,n}`
+//! quantifiers, and `\PC` for printable characters).
+//!
+//! Differences from upstream: a fixed number of deterministic cases per
+//! test (no persisted failure seeds) and **no shrinking** — on failure the
+//! generated inputs are printed as-is. That trades minimal counterexamples
+//! for zero dependencies, which is what an offline build needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cases run per `proptest!` test function.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// The RNG handed to strategies. A thin newtype so strategy signatures
+/// don't leak the vendored rand crate.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            0
+        } else {
+            self.0.gen_range(0..n)
+        }
+    }
+
+    #[inline]
+    pub fn in_range(&mut self, lo: usize, hi_inclusive: usize) -> usize {
+        if hi_inclusive <= lo {
+            lo
+        } else {
+            self.0.gen_range(lo..=hi_inclusive)
+        }
+    }
+}
+
+/// Deterministic per-test seed derived from the test's name (FNV-1a), so
+/// every test function explores its own fixed stream of cases.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for b in test_name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A generator of values of an associated type. Upstream proptest
+    /// couples this with shrinking machinery; here it is pure generation.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// `&str` strategies are regex patterns generating matching strings.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let pattern = crate::pattern::Pattern::parse(self)
+                .unwrap_or_else(|e| panic!("bad string strategy {self:?}: {e}"));
+            pattern.generate(rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.as_str().generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Anything usable as the size argument of [`vec`]: a fixed length or
+    /// a half-open range of lengths.
+    pub trait IntoSizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.start >= self.end {
+                self.start
+            } else {
+                rng.in_range(self.start, self.end - 1)
+            }
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.in_range(*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for vectors of `element` with a size drawn from `size`.
+    pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod pattern {
+    //! A tiny regex-subset *generator*: parses a pattern and produces
+    //! strings matching it. Supported syntax: literals, `[...]` classes
+    //! (ranges, escapes, literal `-` at the edges), `(...)` groups with
+    //! `|` alternation, quantifiers `?` `*` `+` `{m}` `{m,n}`, escapes
+    //! `\\ \[ \] \( \) \{ \} \- \. \| \? \* \+ \n \t`, and `\PC`
+    //! (printable character). `*`/`+` are capped at 8 repetitions.
+
+    use super::TestRng;
+
+    const UNBOUNDED_CAP: usize = 8;
+
+    #[derive(Debug, Clone)]
+    pub enum Node {
+        Literal(char),
+        /// Expanded character class.
+        Class(Vec<char>),
+        /// Any printable character (`\PC`).
+        Printable,
+        /// Alternation of sequences.
+        Group(Vec<Vec<Node>>),
+        Repeat {
+            node: Box<Node>,
+            min: usize,
+            max: usize,
+        },
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Pattern {
+        seq: Vec<Node>,
+    }
+
+    impl Pattern {
+        pub fn parse(pattern: &str) -> Result<Pattern, String> {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut pos = 0;
+            let alts = parse_alternation(&chars, &mut pos)?;
+            if pos != chars.len() {
+                return Err(format!("unexpected `{}` at {pos}", chars[pos]));
+            }
+            // A top-level alternation is a single-node sequence.
+            if alts.len() == 1 {
+                Ok(Pattern {
+                    seq: alts.into_iter().next().unwrap(),
+                })
+            } else {
+                Ok(Pattern {
+                    seq: vec![Node::Group(alts)],
+                })
+            }
+        }
+
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for node in &self.seq {
+                gen_node(node, rng, &mut out);
+            }
+            out
+        }
+    }
+
+    fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(set) => {
+                if !set.is_empty() {
+                    out.push(set[rng.below(set.len())]);
+                }
+            }
+            Node::Printable => {
+                // Mostly ASCII printable, occasionally non-ASCII to keep
+                // the lexer honest about multi-byte input.
+                let c = if rng.below(8) == 0 {
+                    ['é', 'λ', '☃', '中', '\u{00A0}'][rng.below(5)]
+                } else {
+                    char::from(rng.in_range(0x20, 0x7E) as u8)
+                };
+                out.push(c);
+            }
+            Node::Group(alts) => {
+                let pick = &alts[rng.below(alts.len())];
+                for n in pick {
+                    gen_node(n, rng, out);
+                }
+            }
+            Node::Repeat { node, min, max } => {
+                let n = rng.in_range(*min, *max);
+                for _ in 0..n {
+                    gen_node(node, rng, out);
+                }
+            }
+        }
+    }
+
+    fn parse_alternation(chars: &[char], pos: &mut usize) -> Result<Vec<Vec<Node>>, String> {
+        let mut alts = vec![Vec::new()];
+        while *pos < chars.len() {
+            match chars[*pos] {
+                ')' => break,
+                '|' => {
+                    *pos += 1;
+                    alts.push(Vec::new());
+                }
+                _ => {
+                    let atom = parse_atom(chars, pos)?;
+                    let atom = parse_quantifier(chars, pos, atom)?;
+                    alts.last_mut().unwrap().push(atom);
+                }
+            }
+        }
+        Ok(alts)
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        match chars[*pos] {
+            '(' => {
+                *pos += 1;
+                let alts = parse_alternation(chars, pos)?;
+                if *pos >= chars.len() || chars[*pos] != ')' {
+                    return Err("unclosed group".into());
+                }
+                *pos += 1;
+                Ok(Node::Group(alts))
+            }
+            '[' => {
+                *pos += 1;
+                parse_class(chars, pos)
+            }
+            '\\' => {
+                *pos += 1;
+                if *pos >= chars.len() {
+                    return Err("dangling escape".into());
+                }
+                let c = chars[*pos];
+                *pos += 1;
+                match c {
+                    'P' | 'p' => {
+                        // Unicode category escape: consume the category
+                        // letter (only `C`/printable is used here).
+                        if *pos < chars.len() {
+                            *pos += 1;
+                        }
+                        Ok(Node::Printable)
+                    }
+                    'n' => Ok(Node::Literal('\n')),
+                    't' => Ok(Node::Literal('\t')),
+                    'r' => Ok(Node::Literal('\r')),
+                    'd' => Ok(Node::Class(('0'..='9').collect())),
+                    'w' => {
+                        let mut set: Vec<char> = ('a'..='z').collect();
+                        set.extend('A'..='Z');
+                        set.extend('0'..='9');
+                        set.push('_');
+                        Ok(Node::Class(set))
+                    }
+                    's' => Ok(Node::Class(vec![' ', '\t'])),
+                    other => Ok(Node::Literal(other)),
+                }
+            }
+            '.' => {
+                *pos += 1;
+                Ok(Node::Printable)
+            }
+            c => {
+                *pos += 1;
+                Ok(Node::Literal(c))
+            }
+        }
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        let mut set = Vec::new();
+        let mut prev: Option<char> = None;
+        while *pos < chars.len() && chars[*pos] != ']' {
+            let c = chars[*pos];
+            if c == '\\' {
+                *pos += 1;
+                if *pos >= chars.len() {
+                    return Err("dangling escape in class".into());
+                }
+                let e = chars[*pos];
+                *pos += 1;
+                let lit = match e {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                };
+                set.push(lit);
+                prev = Some(lit);
+            } else if c == '-'
+                && prev.is_some()
+                && *pos + 1 < chars.len()
+                && chars[*pos + 1] != ']'
+            {
+                // Range: expand prev..=next.
+                let lo = prev.unwrap();
+                let hi = chars[*pos + 1];
+                *pos += 2;
+                if lo > hi {
+                    return Err(format!("bad class range {lo}-{hi}"));
+                }
+                set.pop();
+                for v in lo..=hi {
+                    set.push(v);
+                }
+                prev = None;
+            } else {
+                *pos += 1;
+                set.push(c);
+                prev = Some(c);
+            }
+        }
+        if *pos >= chars.len() {
+            return Err("unclosed character class".into());
+        }
+        *pos += 1; // consume `]`
+        set.sort_unstable();
+        set.dedup();
+        Ok(Node::Class(set))
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, node: Node) -> Result<Node, String> {
+        if *pos >= chars.len() {
+            return Ok(node);
+        }
+        let (min, max) = match chars[*pos] {
+            '?' => {
+                *pos += 1;
+                (0, 1)
+            }
+            '*' => {
+                *pos += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            '+' => {
+                *pos += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            '{' => {
+                *pos += 1;
+                let mut first = String::new();
+                while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                    first.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: usize = first.parse().map_err(|_| "bad repeat count")?;
+                let max = if *pos < chars.len() && chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut second = String::new();
+                    while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                        second.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    second.parse().map_err(|_| "bad repeat count")?
+                } else {
+                    min
+                };
+                if *pos >= chars.len() || chars[*pos] != '}' {
+                    return Err("unclosed repetition".into());
+                }
+                *pos += 1;
+                (min, max)
+            }
+            _ => return Ok(node),
+        };
+        Ok(Node::Repeat {
+            node: Box::new(node),
+            min,
+            max,
+        })
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Run a closure-based test over [`DEFAULT_CASES`] deterministic cases.
+/// `describe` renders the generated inputs for the failure message.
+pub fn run_cases<F: FnMut(&mut TestRng) -> Result<(), String>>(test_name: &str, mut case: F) {
+    let mut rng = TestRng::from_seed(seed_for(test_name));
+    for i in 0..DEFAULT_CASES {
+        if let Err(msg) = case(&mut rng) {
+            panic!("property `{test_name}` failed on case {i}: {msg}");
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: `{}` at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: `{}`: {} at {}:{}",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?}) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?}): {} at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: `{} != {}` (both: {:?}) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// The `proptest!` block: each contained `#[test] fn name(arg in strategy,
+/// ...) { body }` expands to a normal test running [`DEFAULT_CASES`]
+/// deterministic cases. `prop_assert*` failures report the inputs.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    // `#[test]` is captured by the attribute repetition (as in upstream
+    // proptest) and re-emitted onto the generated zero-argument fn.
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            $crate::run_cases(stringify!($name), |rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, rng);)+
+                // Rendered eagerly: the body may move the inputs.
+                let mut rendered = String::new();
+                $(
+                    rendered.push_str(concat!(stringify!($arg), " = "));
+                    rendered.push_str(&format!("{:?}; ", $arg));
+                )+
+                let run = || -> Result<(), String> { $body Ok(()) };
+                run().map_err(|e| format!("{e} [inputs: {rendered}]"))
+            });
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::pattern::Pattern;
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    fn sample(pat: &str, seed: u64) -> String {
+        let mut rng = TestRng::from_seed(seed);
+        Pattern::parse(pat).unwrap().generate(&mut rng)
+    }
+
+    #[test]
+    fn class_with_ranges_and_edge_dash() {
+        for seed in 0..50 {
+            let s = sample("[a-zA-Z0-9.:, -]{3,24}", seed);
+            assert!((3..=24).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || ".:, -".contains(c)));
+        }
+    }
+
+    #[test]
+    fn groups_alternation_and_optional() {
+        for seed in 0..50 {
+            let s = sample("( {0,8})(def |if |return |x = )?[a-z]{0,5}", seed);
+            let trimmed = s.trim_start_matches(' ');
+            let rest = ["def ", "if ", "return ", "x = "]
+                .iter()
+                .find_map(|p| trimmed.strip_prefix(p))
+                .unwrap_or(trimmed);
+            assert!(rest.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_metacharacters_in_classes() {
+        for seed in 0..50 {
+            let s = sample("[a-z0-9 +\\-*/=():\\[\\]{}'\",.]{0,30}", seed);
+            assert!(s.chars().count() <= 30);
+        }
+    }
+
+    #[test]
+    fn printable_escape_generates_printables() {
+        for seed in 0..20 {
+            let s = sample("\\PC{0,200}", seed);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn vec_strategy_and_prop_map() {
+        let strat = crate::collection::vec(0u8..10, 3usize)
+            .prop_map(|ds| ds.into_iter().map(|d| char::from(b'0' + d)).collect::<String>());
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..20 {
+            let s = strat.generate(&mut rng);
+            assert_eq!(s.len(), 3);
+            assert!(s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    proptest! {
+        /// The macro itself works end-to-end.
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, s in "[ab]{1,4}") {
+            prop_assert!(x < 100);
+            prop_assert!(!s.is_empty() && s.len() <= 4, "bad length {}", s.len());
+            prop_assert_eq!(s.chars().filter(|c| *c == 'a' || *c == 'b').count(), s.chars().count());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, tier-1 tests, the complete
+# workspace test suite (including the vendored stub crates), and a
+# warnings-as-errors clippy pass.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q (tier-1: root package) =="
+cargo test -q
+
+echo "== cargo test --workspace -q =="
+cargo test --workspace -q
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "verify: all green"
