@@ -7,19 +7,24 @@
 //!              table2 table3 all bench-json
 //! ```
 //!
-//! `bench-json` is not part of `all`: it sweeps the trace-engine worker
-//! count over a few representative types and writes per-stage wall-clock
-//! timings to `BENCH_pipeline.json` (figures themselves are bit-identical
-//! at every worker count; only the timings vary).
+//! `bench-json` is not part of `all`: it sweeps the exec-pool worker count
+//! over a few representative types and writes per-stage wall-clock timings
+//! to `BENCH_pipeline.json` — the synthesis pipeline stages per type, plus
+//! the batched table2 column detection and the search-index build (figures
+//! themselves are bit-identical at every worker count; only the timings
+//! vary).
 //!
 //! Without `--full`, sweeps run over the 20 popular types and a scaled
 //! table corpus so the whole suite finishes in minutes; `--full` evaluates
 //! all 112 benchmark types and the full-scale column corpus.
 
 use autotype_bench::{engine_with_workers, standard_engine};
+use autotype_corpus::{build_corpus, CorpusConfig};
 use autotype_eval as eval;
 use autotype_eval::EvalConfig;
+use autotype_exec::ExecPool;
 use autotype_rank::Method;
+use autotype_search::SearchEngine;
 use autotype_typesys::{popular_types, registry, SemanticType};
 
 fn main() {
@@ -223,12 +228,17 @@ fn main() {
 }
 
 /// Sweep the trace-engine worker count and record per-stage wall-clock
-/// timings. Written as hand-rolled JSON: the repo is dependency-free by
-/// policy and the schema is four numbers per row.
+/// timings: the per-type synthesis pipeline, the batched table2 column
+/// detection, and the search-index build. Written as hand-rolled JSON: the
+/// repo is dependency-free by policy and the schema is a few numbers per
+/// row.
 fn bench_json() {
+    let ms = |t: std::time::Instant| t.elapsed().as_secs_f64() * 1e3;
     let cfg = EvalConfig::default();
     let slugs = ["creditcard", "ipv6", "isbn"];
     let mut rows: Vec<eval::StageTimings> = Vec::new();
+    let mut detection_rows: Vec<(eval::Table2Timings, f64, usize)> = Vec::new();
+    let documents = autotype::corpus_documents(&build_corpus(&CorpusConfig::default()));
     println!("== bench-json: per-stage timings across worker counts ==");
     for workers in [1usize, 2, 4, 8] {
         let engine = engine_with_workers(workers);
@@ -243,6 +253,31 @@ fn bench_json() {
             );
             rows.push(t);
         }
+
+        // Both-engine index build over the corpus documents (the serial
+        // phase ROADMAP flagged; one job per repository document).
+        let pool = ExecPool::new(workers);
+        let t = std::time::Instant::now();
+        let gh = SearchEngine::github_with_pool(&documents, &pool);
+        let bing = SearchEngine::bing_with_pool(&documents, &pool);
+        let index_build_ms = ms(t);
+        std::hint::black_box((&gh, &bing));
+
+        // Batched table2 column detection (the column × detector matrix
+        // through the exec pool).
+        let out = eval::table2_full(&engine, &cfg, 0.1, 600);
+        println!(
+            "workers={:<2} table2: sessions {:>9.3} ms  dnf-detect {:>9.3} ms  kw {:>7.3} ms  regex {:>8.3} ms  index-build {:>8.3} ms  ({} columns, {} dnf detections)",
+            workers,
+            out.timings.sessions_ms,
+            out.timings.dnf_ms,
+            out.timings.kw_ms,
+            out.timings.regex_ms,
+            index_build_ms,
+            out.timings.columns,
+            out.dnf.len()
+        );
+        detection_rows.push((out.timings, index_build_ms, out.dnf.len()));
     }
     let mut out = String::from(
         "{\n  \"bench\": \"pipeline_stage_timings\",\n  \"unit\": \"ms\",\n  \"stages\": [\"retrieval\", \"trace\", \"rank\", \"validate\"],\n  \"rows\": [\n",
@@ -261,7 +296,28 @@ fn bench_json() {
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
+    out.push_str(
+        "  ],\n  \"detection_stages\": [\"sessions\", \"dnf_detect\", \"kw_detect\", \"regex_detect\", \"index_build\"],\n  \"detection_rows\": [\n",
+    );
+    for (i, (t, index_build_ms, dnf_detections)) in detection_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"columns\": {}, \"sessions_ms\": {:.3}, \"dnf_detect_ms\": {:.3}, \"kw_detect_ms\": {:.3}, \"regex_detect_ms\": {:.3}, \"index_build_ms\": {:.3}, \"dnf_detections\": {}}}{}\n",
+            t.workers,
+            t.columns,
+            t.sessions_ms,
+            t.dnf_ms,
+            t.kw_ms,
+            t.regex_ms,
+            index_build_ms,
+            dnf_detections,
+            if i + 1 == detection_rows.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ]\n}\n");
     std::fs::write("BENCH_pipeline.json", &out).expect("write BENCH_pipeline.json");
-    println!("wrote BENCH_pipeline.json ({} rows)", rows.len());
+    println!(
+        "wrote BENCH_pipeline.json ({} pipeline rows, {} detection rows)",
+        rows.len(),
+        detection_rows.len()
+    );
 }

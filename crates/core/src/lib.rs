@@ -38,8 +38,9 @@ use std::collections::BTreeSet;
 use autotype_corpus::{Corpus, Quality};
 use autotype_dnf::CoverParams;
 use autotype_exec::{
-    analyze_module, featurize, Candidate, EntryPoint, ExecPool, Executor, Literal, PackageIndex,
+    analyze_module, featurize, Candidate, EntryPoint, Executor, Literal, PackageIndex,
 };
+pub use autotype_exec::ExecPool;
 use autotype_lang::Program;
 use autotype_negative::{
     generate_negatives, random_negatives, MutationConfig, Strategy,
@@ -158,23 +159,34 @@ pub struct Session<'a> {
     pub installs: usize,
 }
 
+/// Map a corpus to the per-repository search `Document` collection the two
+/// engines index (name / description / README / code text, weighted
+/// differently per engine).
+pub fn corpus_documents(corpus: &Corpus) -> Vec<Document> {
+    corpus
+        .repositories
+        .iter()
+        .map(|r| Document {
+            id: r.id,
+            fields: vec![
+                (Field::Name, r.name.clone()),
+                (Field::Description, r.description.clone()),
+                (Field::Readme, r.readme.clone()),
+                (Field::Code, r.code_text()),
+            ],
+        })
+        .collect()
+}
+
 impl AutoType {
     pub fn new(corpus: Corpus, config: AutoTypeConfig) -> AutoType {
-        let documents: Vec<Document> = corpus
-            .repositories
-            .iter()
-            .map(|r| Document {
-                id: r.id,
-                fields: vec![
-                    (Field::Name, r.name.clone()),
-                    (Field::Description, r.description.clone()),
-                    (Field::Readme, r.readme.clone()),
-                    (Field::Code, r.code_text()),
-                ],
-            })
-            .collect();
-        let github = SearchEngine::github(&documents);
-        let bing = SearchEngine::bing(&documents);
+        let documents = corpus_documents(&corpus);
+        // The pool is built first so corpus tokenization / index
+        // construction — embarrassingly parallel over repositories — also
+        // fans out across it.
+        let pool = ExecPool::new(config.workers);
+        let github = SearchEngine::github_with_pool(&documents, &pool);
+        let bing = SearchEngine::bing_with_pool(&documents, &pool);
         let mut packages = PackageIndex::new();
         for (name, source) in &corpus.packages {
             packages.insert(name, source);
@@ -184,7 +196,7 @@ impl AutoType {
             github,
             bing,
             packages,
-            pool: ExecPool::new(config.workers),
+            pool,
             config,
         }
     }
@@ -196,6 +208,12 @@ impl AutoType {
     /// Worker count of the trace-collection pool (1 = serial path).
     pub fn workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// The engine's shared execution pool — evaluation drivers batch
+    /// column-detection jobs through it (see `detect_by_values_batched`).
+    pub fn pool(&self) -> &ExecPool {
+        &self.pool
     }
 
     /// Keyword retrieval: union of top-k from both engines (§4.1).
@@ -698,6 +716,44 @@ impl<'a> Session<'a> {
         validator.accepts(&trace)
     }
 
+    /// Detach a thread-safe batch handle for a ranked function's validator,
+    /// for scoring whole columns of values concurrently (§9.1's batched
+    /// detection path). Returns `None` when the function has no synthesized
+    /// validator or no longer resolves to a session candidate — exactly the
+    /// cases where [`validate`](Session::validate) answers `false` for every
+    /// input, so callers can simply skip such functions.
+    ///
+    /// The handle snapshots the candidate's executor at call time; fold its
+    /// fuel accounting back with [`absorb_batch`](Session::absorb_batch)
+    /// when the batch is done.
+    pub fn batch_validator(&self, function: &RankedFunction) -> Option<BatchValidator<'a>> {
+        let validator = function.validator.clone()?;
+        let sc = self.candidates.iter().find(|sc| {
+            sc.repo == function.repo
+                && sc.file == function.file
+                && sc.candidate.entry == function.entry
+        })?;
+        let exec = self
+            .executors
+            .iter()
+            .find(|(repo, _)| *repo == sc.repo)
+            .map(|(_, e)| e.clone())
+            .expect("executor");
+        Some(BatchValidator {
+            packages: &self.engine.packages,
+            candidate: sc.candidate.clone(),
+            exec,
+            validator,
+            fuel: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Fold a finished batch handle's fuel accounting back into the
+    /// session's Figure 14 cost measure.
+    pub fn absorb_batch(&mut self, batch: BatchValidator<'_>) {
+        self.fuel_spent += batch.fuel.into_inner();
+    }
+
     /// Run a ranked function directly and report whether it *accepted* the
     /// input (completed without an exception and did not return `False`) —
     /// the acceptance notion used to unit-test functions that were ranked
@@ -755,6 +811,62 @@ impl<'a> Session<'a> {
             })
             .collect();
         harvest_transformations(&harvests, 0.5, true)
+    }
+}
+
+/// A thread-safe, detached handle for running one ranked function's
+/// synthesized validator over many inputs concurrently — the unit the
+/// batched column-detection path fans out across the exec pool.
+///
+/// Every [`accepts`](BatchValidator::accepts) call runs against a fresh
+/// (Arc-shallow) clone of the executor snapshot taken at
+/// [`Session::batch_validator`] time, so each call is a pure function of
+/// its input: verdicts are independent of call order and of how calls are
+/// scheduled across worker threads, which is what makes batched detection
+/// bit-identical at every worker count. Dynamic package installs triggered
+/// by a probe happen in the per-call clone and are discarded, so the
+/// snapshot never drifts mid-batch. Fuel is accumulated atomically (a
+/// commutative sum, deterministic under any schedule).
+pub struct BatchValidator<'a> {
+    packages: &'a PackageIndex,
+    candidate: Candidate,
+    exec: Executor,
+    validator: SynthesizedValidator,
+    fuel: std::sync::atomic::AtomicU64,
+}
+
+impl BatchValidator<'_> {
+    /// Algorithm 3 on one input: run the candidate, trace, check
+    /// `∧T(s) → DNF-E`.
+    pub fn accepts(&self, input: &str) -> bool {
+        let mut exec = self.exec.clone();
+        let outcome = exec.run(&self.candidate, input, self.packages);
+        self.fuel
+            .fetch_add(outcome.fuel_used, std::sync::atomic::Ordering::Relaxed);
+        let mut trace = featurize(&outcome.trace);
+        // Reconstruct the synthetic black-box literal so validators
+        // synthesized from the RET baseline's view evaluate correctly
+        // (mirrors Session::validate).
+        match &outcome.result {
+            Ok(value) => {
+                trace.insert(Literal::Ret {
+                    site: autotype_lang::SiteId::new(u32::MAX, 0),
+                    value: autotype_lang::ValueSummary::of(value),
+                });
+            }
+            Err(e) => {
+                trace.insert(Literal::Exception {
+                    kind: e.kind.clone(),
+                });
+            }
+        }
+        self.validator.accepts(&trace)
+    }
+
+    /// Total fuel burned by all [`accepts`](BatchValidator::accepts) calls
+    /// so far.
+    pub fn fuel_spent(&self) -> u64 {
+        self.fuel.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

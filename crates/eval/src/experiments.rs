@@ -2,13 +2,13 @@
 //! evaluation (§8–§9). Each driver is parameterized by a type subset and a
 //! scale so the same code powers fast tests and the full `figures` binary.
 
-use autotype::{AutoType, NegativeMode, RankedFunction, Session};
+use autotype::{AutoType, BatchValidator, NegativeMode, RankedFunction, Session};
 use autotype_negative::{generate_negatives, MutationConfig, Strategy};
 use autotype_rank::Method;
 use autotype_tables::{
-    correct_columns, detect_by_header, detect_by_pattern, generate_columns, infer_pattern,
-    score_type, Detection, InferredPattern, TableConfig, TypeOutcome, VALUE_THRESHOLD,
-    PAPER_TYPE_COUNTS,
+    correct_columns, detect_by_header, detect_by_pattern, detect_by_values_batched,
+    generate_columns, infer_pattern, score_type, Detection, InferredPattern, SyncValueDetector,
+    TableConfig, TypeOutcome, PAPER_TYPE_COUNTS,
 };
 use autotype_typesys::{by_slug, popular_types, registry, Coverage, SemanticType};
 use rand::rngs::StdRng;
@@ -356,7 +356,7 @@ pub fn fig14(
 }
 
 /// One Table 2 row: per-method detections and precision for a type.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table2Row {
     pub slug: &'static str,
     pub dnf: TypeOutcome,
@@ -394,10 +394,63 @@ fn header_keywords(slug: &str) -> Vec<&'static str> {
     }
 }
 
+/// Per-stage wall-clock timings of one [`table2_full`] run. Clock readings
+/// vary run to run; the detections and scores they cover are deterministic
+/// at any worker count.
+#[derive(Debug, Clone)]
+pub struct Table2Timings {
+    /// Exec-pool worker count of the engine that ran the experiment.
+    pub workers: usize,
+    /// Columns in the generated corpus.
+    pub columns: usize,
+    /// Per-type synthesis: session build + ranking + pattern inference.
+    pub sessions_ms: f64,
+    /// Batched DNF-S detection (the column × detector matrix through the
+    /// exec pool).
+    pub dnf_ms: f64,
+    /// Header-keyword baseline detection.
+    pub kw_ms: f64,
+    /// Inferred-pattern baseline detection.
+    pub regex_ms: f64,
+}
+
+/// Everything a [`table2`] run produces: per-type rows plus the raw
+/// per-method detections (for determinism pinning) and stage timings (for
+/// `figures bench-json`).
+#[derive(Debug, Clone)]
+pub struct Table2Output {
+    pub rows: Vec<Table2Row>,
+    pub dnf: Vec<Detection>,
+    pub kw: Vec<Detection>,
+    pub regex: Vec<Detection>,
+    pub timings: Table2Timings,
+}
+
 /// Table 2 / Figure 11: column-type detection over the synthetic web-table
 /// corpus, comparing the synthesized DNF-S functions, header keywords, and
 /// inferred REGEX patterns.
 pub fn table2(engine: &AutoType, cfg: &EvalConfig, table_scale: f64, untyped: usize) -> Vec<Table2Row> {
+    table2_full(engine, cfg, table_scale, untyped).rows
+}
+
+/// [`table2`] with detections and stage timings exposed.
+///
+/// DNF-S detection is batched: each per-type synthesized validator becomes
+/// a thread-safe [`BatchValidator`] handle, and the whole column × detector
+/// matrix fans out through the engine's exec pool as one job per cell
+/// (`detect_by_values_batched`). The merge is index-ordered with
+/// first-matching-type-wins per column and the strict `> VALUE_THRESHOLD`
+/// acceptance rule, so detections and `Table2Row` scores are bit-identical
+/// at every worker count — the same guarantee the trace engine pins in
+/// `crates/core/tests/parallel_determinism.rs`, pinned here by
+/// `crates/eval/tests/batched_detection.rs`.
+pub fn table2_full(
+    engine: &AutoType,
+    cfg: &EvalConfig,
+    table_scale: f64,
+    untyped: usize,
+) -> Table2Output {
+    let ms = |t: std::time::Instant| t.elapsed().as_secs_f64() * 1e3;
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7AB1E);
     let columns = generate_columns(
         &TableConfig {
@@ -409,6 +462,7 @@ pub fn table2(engine: &AutoType, cfg: &EvalConfig, table_scale: f64, untyped: us
     );
 
     // Build one session + top-1 function per type.
+    let t = std::time::Instant::now();
     let mut sessions: Vec<(&'static str, Session<'_>, RankedFunction)> = Vec::new();
     let mut patterns: Vec<(&'static str, Option<InferredPattern>)> = Vec::new();
     for (slug, _) in PAPER_TYPE_COUNTS {
@@ -430,34 +484,50 @@ pub fn table2(engine: &AutoType, cfg: &EvalConfig, table_scale: f64, untyped: us
             }
         }
     }
+    let sessions_ms = ms(t);
 
-    // DNF detection: >80% of values accepted by the synthesized validator.
-    let mut dnf_detections: Vec<Detection> = Vec::new();
-    for (idx, column) in columns.iter().enumerate() {
-        if column.values.is_empty() {
-            continue;
-        }
-        for (slug, session, top) in sessions.iter_mut() {
-            let accepted = column
-                .values
-                .iter()
-                .filter(|v| session.validate(top, v))
-                .count();
-            if accepted as f64 / column.values.len() as f64 > VALUE_THRESHOLD {
-                dnf_detections.push(Detection { column: idx, slug });
-                break;
-            }
+    // DNF detection: >80% of values accepted by the synthesized validator,
+    // batched through the exec pool. Functions without a validator would
+    // answer false for every value (never reaching the threshold), so
+    // skipping them changes nothing — including first-win priority.
+    let t = std::time::Instant::now();
+    let handles: Vec<(&'static str, BatchValidator<'_>)> = sessions
+        .iter()
+        .filter_map(|(slug, session, top)| {
+            session.batch_validator(top).map(|bv| (*slug, bv))
+        })
+        .collect();
+    let detectors: Vec<SyncValueDetector<'_>> = handles
+        .iter()
+        .map(|(slug, bv)| {
+            (
+                *slug,
+                Box::new(move |v: &str| bv.accepts(v)) as Box<dyn Fn(&str) -> bool + Sync>,
+            )
+        })
+        .collect();
+    let dnf_detections = detect_by_values_batched(&columns, &detectors, engine.pool());
+    drop(detectors);
+    // Fold the batch fuel back into each owning session's cost accounting.
+    for (slug, bv) in handles {
+        if let Some((_, session, _)) = sessions.iter_mut().find(|(s, _, _)| *s == slug) {
+            session.absorb_batch(bv);
         }
     }
+    let dnf_ms = ms(t);
 
+    let t = std::time::Instant::now();
     let keywords: Vec<(&'static str, Vec<&'static str>)> = PAPER_TYPE_COUNTS
         .iter()
         .map(|(slug, _)| (*slug, header_keywords(slug)))
         .collect();
     let kw_detections = detect_by_header(&columns, &keywords);
+    let kw_ms = ms(t);
+    let t = std::time::Instant::now();
     let regex_detections = detect_by_pattern(&columns, &patterns);
+    let regex_ms = ms(t);
 
-    PAPER_TYPE_COUNTS
+    let rows = PAPER_TYPE_COUNTS
         .iter()
         .map(|(slug, _)| {
             let mut union = correct_columns(&dnf_detections, &columns, slug);
@@ -471,7 +541,21 @@ pub fn table2(engine: &AutoType, cfg: &EvalConfig, table_scale: f64, untyped: us
                 union_all: union.len(),
             }
         })
-        .collect()
+        .collect();
+    Table2Output {
+        rows,
+        dnf: dnf_detections,
+        kw: kw_detections,
+        regex: regex_detections,
+        timings: Table2Timings {
+            workers: engine.workers(),
+            columns: columns.len(),
+            sessions_ms,
+            dnf_ms,
+            kw_ms,
+            regex_ms,
+        },
+    }
 }
 
 /// Table 3: semantic transformations per popular type — names of the

@@ -12,9 +12,9 @@ pub mod metrics;
 pub mod relevance;
 
 pub use experiments::{
-    fig10c, fig12, fig14, fig8, fig9, pipeline_timings, sensitivity_examples, table2, table3,
-    types_by_coverage, types_by_slugs, CoverageReport, EvalConfig, MethodQuality, StageTimings,
-    Table2Row,
+    fig10c, fig12, fig14, fig8, fig9, pipeline_timings, sensitivity_examples, table2, table2_full,
+    table3, types_by_coverage, types_by_slugs, CoverageReport, EvalConfig, MethodQuality,
+    StageTimings, Table2Output, Table2Row, Table2Timings,
 };
 pub use metrics::{dcg, mean, ndcg, precision_at_k, relative_recall};
 pub use relevance::{relevance, top_k_relevances, Holdout};

@@ -67,6 +67,12 @@ pub struct Alphabet {
     pub non_punct: BTreeSet<char>,
     /// In-alphabet punctuation characters.
     pub punct: BTreeSet<char>,
+    /// The three replacement pools (S1 / S2 / S3), materialized once at
+    /// inference time — `mutate` draws per *character*, and re-collecting a
+    /// `Vec<char>` for every mutated position dominated generation cost.
+    non_punct_pool: Vec<char>,
+    all_pool: Vec<char>,
+    full_pool: Vec<char>,
 }
 
 impl Alphabet {
@@ -78,38 +84,29 @@ impl Alphabet {
         }
         let (punct, non_punct): (BTreeSet<char>, BTreeSet<char>) =
             all.iter().partition(|c| is_punct(**c));
+        let non_punct_pool = non_punct.iter().copied().collect();
+        let all_pool = all.iter().copied().collect();
         Alphabet {
             all,
             non_punct,
             punct,
+            non_punct_pool,
+            all_pool,
+            full_pool: FULL_ALPHABET.chars().collect(),
         }
     }
 
     /// The replacement pool a strategy draws from when mutating `c`;
-    /// `None` means the strategy leaves `c` untouched.
-    fn pool(&self, strategy: Strategy, c: char) -> Option<Vec<char>> {
+    /// `None` means the strategy leaves `c` untouched. The pools are
+    /// precomputed, so this is a set lookup plus a slice borrow.
+    fn pool(&self, strategy: Strategy, c: char) -> Option<&[char]> {
         match strategy {
-            Strategy::S1 => {
-                if self.non_punct.contains(&c) {
-                    Some(self.non_punct.iter().copied().collect())
-                } else {
-                    None
-                }
-            }
-            Strategy::S2 => {
-                if self.all.contains(&c) {
-                    Some(self.all.iter().copied().collect())
-                } else {
-                    None
-                }
-            }
-            Strategy::S3 => {
-                if self.all.contains(&c) {
-                    Some(FULL_ALPHABET.chars().collect())
-                } else {
-                    None
-                }
-            }
+            Strategy::S1 => self
+                .non_punct
+                .contains(&c)
+                .then_some(self.non_punct_pool.as_slice()),
+            Strategy::S2 => self.all.contains(&c).then_some(self.all_pool.as_slice()),
+            Strategy::S3 => self.all.contains(&c).then_some(self.full_pool.as_slice()),
         }
     }
 }
@@ -192,7 +189,7 @@ pub fn mutate(
             let i = rng.gen_range(0..out.len());
             out.remove(i);
         } else {
-            let source: Vec<char> = alphabet.non_punct.iter().copied().collect();
+            let source = &alphabet.non_punct_pool;
             if !source.is_empty() {
                 let i = rng.gen_range(0..=out.len());
                 out.insert(i, source[rng.gen_range(0..source.len())]);
@@ -336,17 +333,20 @@ mod tests {
             let p1: BTreeSet<char> = a
                 .pool(Strategy::S1, *c)
                 .unwrap_or_default()
-                .into_iter()
+                .iter()
+                .copied()
                 .collect();
             let p2: BTreeSet<char> = a
                 .pool(Strategy::S2, *c)
                 .unwrap_or_default()
-                .into_iter()
+                .iter()
+                .copied()
                 .collect();
             let p3: BTreeSet<char> = a
                 .pool(Strategy::S3, *c)
                 .unwrap_or_default()
-                .into_iter()
+                .iter()
+                .copied()
                 .collect();
             assert!(p1.is_subset(&p2), "S1 ⊄ S2 for {c:?}");
             assert!(p2.is_subset(&p3), "S2 ⊄ S3 for {c:?}");

@@ -1,6 +1,7 @@
 //! The two simulated search APIs and their top-k union (§4.1).
 
 use crate::index::{Document, FieldWeights, Index, Scoring};
+use autotype_exec::ExecPool;
 
 /// One search hit: the caller-supplied document id plus score.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,8 +22,14 @@ impl SearchEngine {
     /// The simulated GitHub search API: name/description-heavy TF-IDF —
     /// repository metadata dominates, like topic/name matching on GitHub.
     pub fn github(documents: &[Document]) -> SearchEngine {
+        SearchEngine::github_with_pool(documents, &ExecPool::new(1))
+    }
+
+    /// [`github`](SearchEngine::github), with corpus tokenization sharded
+    /// across `pool` (identical index at every worker count).
+    pub fn github_with_pool(documents: &[Document], pool: &ExecPool) -> SearchEngine {
         SearchEngine {
-            index: Index::build(
+            index: Index::build_with_pool(
                 documents,
                 FieldWeights {
                     name: 6.0,
@@ -30,6 +37,7 @@ impl SearchEngine {
                     readme: 1.0,
                     code: 0.25,
                 },
+                pool,
             ),
             scoring: Scoring::TfIdf,
             ids: documents.iter().map(|d| d.id).collect(),
@@ -42,8 +50,14 @@ impl SearchEngine {
     /// whose names don't mention the type — the complementary results the
     /// paper relies on.
     pub fn bing(documents: &[Document]) -> SearchEngine {
+        SearchEngine::bing_with_pool(documents, &ExecPool::new(1))
+    }
+
+    /// [`bing`](SearchEngine::bing), with corpus tokenization sharded
+    /// across `pool` (identical index at every worker count).
+    pub fn bing_with_pool(documents: &[Document], pool: &ExecPool) -> SearchEngine {
         SearchEngine {
-            index: Index::build(
+            index: Index::build_with_pool(
                 documents,
                 FieldWeights {
                     name: 1.5,
@@ -51,6 +65,7 @@ impl SearchEngine {
                     readme: 3.0,
                     code: 1.0,
                 },
+                pool,
             ),
             scoring: Scoring::Bm25,
             ids: documents.iter().map(|d| d.id).collect(),

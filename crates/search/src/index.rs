@@ -1,7 +1,13 @@
 //! Field-weighted inverted index with TF-IDF and BM25 scoring.
+//!
+//! Index construction is embarrassingly parallel over documents:
+//! [`Index::build_with_pool`] fans per-document tokenization out across an
+//! [`ExecPool`] and merges the per-document statistics in document order,
+//! so the built index is identical at every worker count.
 
 use crate::tokenize::tokenize;
-use std::collections::HashMap;
+use autotype_exec::ExecPool;
+use std::collections::{BTreeMap, HashMap};
 
 /// Document fields, with different weights per engine (repository name
 /// matches matter more on GitHub search; body text matters more on a web
@@ -72,20 +78,39 @@ pub struct Index {
 }
 
 impl Index {
-    /// Build an index with the given field weights.
+    /// Build an index with the given field weights on the current thread.
     pub fn build(documents: &[Document], weights: FieldWeights) -> Index {
+        Index::build_with_pool(documents, weights, &ExecPool::new(1))
+    }
+
+    /// Build an index, sharding per-document tokenization across `pool`.
+    ///
+    /// Tokenizing and weighting one document is a pure function of that
+    /// document, so the corpus fans out as one job per document. The merge
+    /// walks documents in index order: posting lists stay sorted by
+    /// document position and `avg_len` sums lengths in document order, so
+    /// the result is bit-identical for every worker count (a 1-worker pool
+    /// is the exact serial loop). Per-document term counts use a `BTreeMap`
+    /// so the posting-map insertion sequence is canonical too.
+    pub fn build_with_pool(documents: &[Document], weights: FieldWeights, pool: &ExecPool) -> Index {
         let n_docs = documents.len();
+        let per_doc: Vec<(BTreeMap<String, f64>, f64)> =
+            pool.run_ordered(documents.iter().collect(), |_, doc: &Document| {
+                let mut tf: BTreeMap<String, f64> = BTreeMap::new();
+                let mut len = 0.0;
+                for (field, text) in &doc.fields {
+                    let w = weights.get(*field);
+                    for token in tokenize(text) {
+                        *tf.entry(token).or_default() += w;
+                        len += w;
+                    }
+                }
+                (tf, len)
+            });
         let mut postings: HashMap<String, Vec<(usize, f64)>> = HashMap::new();
         let mut doc_len = vec![0.0; n_docs];
-        for (pos, doc) in documents.iter().enumerate() {
-            let mut tf: HashMap<String, f64> = HashMap::new();
-            for (field, text) in &doc.fields {
-                let w = weights.get(*field);
-                for token in tokenize(text) {
-                    *tf.entry(token).or_default() += w;
-                    doc_len[pos] += w;
-                }
-            }
+        for (pos, (tf, len)) in per_doc.into_iter().enumerate() {
+            doc_len[pos] = len;
             for (term, freq) in tf {
                 postings.entry(term).or_default().push((pos, freq));
             }
@@ -238,6 +263,34 @@ mod tests {
         let index = Index::build(&docs, FieldWeights::uniform());
         let hits = index.score("credit parser", Scoring::TfIdf);
         assert_eq!(hits[0].0, 0, "rare term should dominate");
+    }
+
+    #[test]
+    fn parallel_build_is_worker_count_invariant() {
+        let docs: Vec<Document> = (0..40)
+            .map(|i| {
+                doc(
+                    i,
+                    &format!("repo-{i}"),
+                    &format!("tokens shared by many docs plus unique-{i} and isbn"),
+                )
+            })
+            .collect();
+        let baseline = Index::build(&docs, FieldWeights::uniform());
+        let queries = ["isbn", "unique-7", "shared docs", "repo-3 tokens"];
+        for workers in [2, 4, 8] {
+            let pool = ExecPool::new(workers);
+            let built = Index::build_with_pool(&docs, FieldWeights::uniform(), &pool);
+            for q in queries {
+                for scoring in [Scoring::TfIdf, Scoring::Bm25] {
+                    assert_eq!(
+                        built.score(q, scoring),
+                        baseline.score(q, scoring),
+                        "workers={workers} q={q}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

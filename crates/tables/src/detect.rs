@@ -9,6 +9,7 @@
 
 use crate::corpus::Column;
 use crate::regex::InferredPattern;
+use autotype_exec::ExecPool;
 
 /// Acceptance threshold over column values (both DNF-S and REGEX).
 pub const VALUE_THRESHOLD: f64 = 0.8;
@@ -23,19 +24,93 @@ pub struct Detection {
 /// A named per-value predicate, as produced by validator synthesis.
 pub type ValueDetector<'a> = (&'static str, Box<dyn Fn(&str) -> bool + 'a>);
 
-/// Detect with per-type value predicates (the synthesized functions).
-pub fn detect_by_values(columns: &[Column], detectors: &[ValueDetector<'_>]) -> Vec<Detection> {
+/// A named per-value predicate with mutable state — the shape a synthesis
+/// `Session` produces, where every probe run charges fuel to the session.
+pub type ValueDetectorMut<'a> = (&'static str, Box<dyn FnMut(&str) -> bool + 'a>);
+
+/// A named thread-safe per-value predicate for the batched detection path.
+pub type SyncValueDetector<'a> = (&'static str, Box<dyn Fn(&str) -> bool + Sync + 'a>);
+
+/// The §9.1 acceptance rule for one column: strictly more than
+/// [`VALUE_THRESHOLD`] of its values pass the predicate ("to account for
+/// dirty values such as meta-data mixed in columns"). Empty columns never
+/// pass. Every detection path funnels through this one comparison so the
+/// threshold semantics cannot drift between the serial, mutable, and
+/// batched variants.
+fn column_passes(values: &[String], mut predicate: impl FnMut(&str) -> bool) -> bool {
+    if values.is_empty() {
+        return false;
+    }
+    let accepted = values.iter().filter(|v| predicate(v)).count();
+    accepted as f64 / values.len() as f64 > VALUE_THRESHOLD
+}
+
+/// Detect with stateful per-type value predicates. This is the reference
+/// detection loop: columns in order, detectors in order, first matching
+/// type wins for a column. [`detect_by_values`], [`detect_by_pattern`], and
+/// (by an index-ordered merge) [`detect_by_values_batched`] all share these
+/// semantics.
+pub fn detect_by_values_mut(
+    columns: &[Column],
+    detectors: &mut [ValueDetectorMut<'_>],
+) -> Vec<Detection> {
     let mut out = Vec::new();
     for (idx, column) in columns.iter().enumerate() {
-        if column.values.is_empty() {
-            continue;
-        }
-        for (slug, predicate) in detectors {
-            let accepted = column.values.iter().filter(|v| predicate(v)).count();
-            if accepted as f64 / column.values.len() as f64 > VALUE_THRESHOLD {
+        for (slug, predicate) in detectors.iter_mut() {
+            if column_passes(&column.values, &mut **predicate) {
                 out.push(Detection { column: idx, slug });
                 break; // first matching type wins for a column
             }
+        }
+    }
+    out
+}
+
+/// Detect with per-type value predicates (the synthesized functions).
+pub fn detect_by_values(columns: &[Column], detectors: &[ValueDetector<'_>]) -> Vec<Detection> {
+    let mut muts: Vec<ValueDetectorMut<'_>> = detectors
+        .iter()
+        .map(|(slug, f)| (*slug, Box::new(move |v: &str| f(v)) as Box<dyn FnMut(&str) -> bool>))
+        .collect();
+    detect_by_values_mut(columns, &mut muts)
+}
+
+/// Batched column detection through an [`ExecPool`]: one job per
+/// column × detector, merged in input order.
+///
+/// Each job scores one (column, detector) cell of the matrix against
+/// [`VALUE_THRESHOLD`]; because jobs are enqueued column-major with
+/// detectors in priority order and merged by input index, the
+/// first-matching-type-wins rule produces exactly the [`detect_by_values`]
+/// detections at every worker count (`workers = 1` runs the jobs serially
+/// in input order). Unlike the serial loop, lower-priority detectors still
+/// run for an already-detected column — they execute in parallel and their
+/// verdicts are discarded by the merge, trading redundant work for
+/// latency.
+pub fn detect_by_values_batched(
+    columns: &[Column],
+    detectors: &[SyncValueDetector<'_>],
+    pool: &ExecPool,
+) -> Vec<Detection> {
+    let jobs: Vec<(usize, usize)> = (0..columns.len())
+        .filter(|ci| !columns[*ci].values.is_empty())
+        .flat_map(|ci| (0..detectors.len()).map(move |di| (ci, di)))
+        .collect();
+    let passed = pool.run_ordered(jobs.clone(), |_, (ci, di)| {
+        column_passes(&columns[ci].values, |v| (detectors[di].1)(v))
+    });
+    let mut out = Vec::new();
+    let mut decided: Option<usize> = None;
+    for (&(ci, di), pass) in jobs.iter().zip(passed) {
+        if decided == Some(ci) {
+            continue; // an earlier (higher-priority) detector already won
+        }
+        if pass {
+            out.push(Detection {
+                column: ci,
+                slug: detectors[di].0,
+            });
+            decided = Some(ci);
         }
     }
     out
@@ -47,14 +122,20 @@ pub fn detect_by_header(
     columns: &[Column],
     keywords: &[(&'static str, Vec<&'static str>)],
 ) -> Vec<Detection> {
+    // Normalize the keyword lists once up front instead of re-lowercasing
+    // every keyword for every column.
+    let keywords: Vec<(&'static str, Vec<String>)> = keywords
+        .iter()
+        .map(|(slug, words)| (*slug, words.iter().map(|w| w.to_lowercase()).collect()))
+        .collect();
     let mut out = Vec::new();
     for (idx, column) in columns.iter().enumerate() {
         let Some(header) = &column.header else {
             continue;
         };
         let header = header.to_lowercase();
-        for (slug, words) in keywords {
-            if words.iter().any(|w| header.contains(&w.to_lowercase())) {
+        for (slug, words) in &keywords {
+            if words.iter().any(|w| header.contains(w.as_str())) {
                 out.push(Detection { column: idx, slug });
                 break;
             }
@@ -69,29 +150,23 @@ pub fn detect_by_pattern(
     columns: &[Column],
     patterns: &[(&'static str, Option<InferredPattern>)],
 ) -> Vec<Detection> {
-    let mut out = Vec::new();
-    for (idx, column) in columns.iter().enumerate() {
-        if column.values.is_empty() {
-            continue;
-        }
-        for (slug, pattern) in patterns {
-            let Some(pattern) = pattern else {
-                continue;
-            };
-            let accepted = column.values.iter().filter(|v| pattern.matches(v)).count();
-            if accepted as f64 / column.values.len() as f64 > VALUE_THRESHOLD {
-                out.push(Detection { column: idx, slug });
-                break;
-            }
-        }
-    }
-    out
+    let mut detectors: Vec<ValueDetectorMut<'_>> = patterns
+        .iter()
+        .filter_map(|(slug, pattern)| {
+            let pattern = pattern.as_ref()?;
+            Some((
+                *slug,
+                Box::new(move |v: &str| pattern.matches(v)) as Box<dyn FnMut(&str) -> bool>,
+            ))
+        })
+        .collect();
+    detect_by_values_mut(columns, &mut detectors)
 }
 
 /// Per-type precision / relative recall / F-score against ground truth,
 /// using the union of correct detections across methods as the recall
 /// denominator (§9.1's pooled "relative recall").
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TypeOutcome {
     pub detected: usize,
     pub correct: usize,
@@ -201,6 +276,52 @@ mod tests {
         assert!(detections.contains(&Detection { column: 0, slug: "ipv4" }));
         assert!(detections.contains(&Detection { column: 1, slug: "ipv4" }));
         assert!(!detections.iter().any(|d| d.column == 2));
+    }
+
+    #[test]
+    fn batched_detection_matches_serial_at_every_worker_count() {
+        let cols = columns();
+        let serial: Vec<(&'static str, Box<dyn Fn(&str) -> bool>)> = vec![
+            ("ipv4", Box::new(ipv4_like)),
+            ("anything", Box::new(|v: &str| !v.is_empty())),
+        ];
+        let expected = detect_by_values(&cols, &serial);
+        // "anything" accepts every non-empty value, so first-win priority is
+        // actually exercised: ipv4 must still win columns 0 and 1.
+        assert_eq!(expected.iter().filter(|d| d.slug == "ipv4").count(), 2);
+        assert_eq!(expected.iter().filter(|d| d.slug == "anything").count(), 1);
+        for workers in [1, 2, 4, 8] {
+            let batched: Vec<SyncValueDetector> = vec![
+                ("ipv4", Box::new(ipv4_like)),
+                ("anything", Box::new(|v: &str| !v.is_empty())),
+            ];
+            let got = detect_by_values_batched(&cols, &batched, &ExecPool::new(workers));
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn mut_detectors_share_threshold_and_break_semantics() {
+        let cols = columns();
+        let mut calls = 0usize;
+        let mut detectors: Vec<ValueDetectorMut> = vec![(
+            "ipv4",
+            Box::new(|v: &str| {
+                calls += 1;
+                ipv4_like(v)
+            }),
+        )];
+        let detections = detect_by_values_mut(&cols, &mut detectors);
+        drop(detectors);
+        assert_eq!(
+            detections,
+            vec![
+                Detection { column: 0, slug: "ipv4" },
+                Detection { column: 1, slug: "ipv4" }
+            ]
+        );
+        // Every value of every column probed exactly once.
+        assert_eq!(calls, cols.iter().map(|c| c.values.len()).sum::<usize>());
     }
 
     #[test]

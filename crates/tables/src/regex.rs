@@ -32,7 +32,7 @@ enum Class {
 }
 
 fn class_of(c: char) -> Class {
-    if c.is_ascii_digit() {
+    if c.is_numeric() {
         Class::Digit
     } else if c.is_alphabetic() {
         Class::Letter
@@ -69,8 +69,8 @@ pub fn infer_pattern<S: AsRef<str>>(examples: &[S]) -> Option<InferredPattern> {
                     segs.into_iter()
                         .map(|(cls, text)| match cls {
                             Class::Digit => PTok::Digits {
-                                min: text.len(),
-                                max: text.len(),
+                                min: text.chars().count(),
+                                max: text.chars().count(),
                             },
                             Class::Letter => PTok::Letters {
                                 min: text.chars().count(),
@@ -88,8 +88,8 @@ pub fn infer_pattern<S: AsRef<str>>(examples: &[S]) -> Option<InferredPattern> {
                 for (tok, (cls, text)) in existing.iter_mut().zip(segs) {
                     match (tok, cls) {
                         (PTok::Digits { min, max }, Class::Digit) => {
-                            *min = (*min).min(text.len());
-                            *max = (*max).max(text.len());
+                            *min = (*min).min(text.chars().count());
+                            *max = (*max).max(text.chars().count());
                         }
                         (PTok::Letters { min, max }, Class::Letter) => {
                             *min = (*min).min(text.chars().count());
@@ -115,7 +115,7 @@ impl InferredPattern {
         for (tok, (cls, text)) in self.tokens.iter().zip(segs) {
             let ok = match (tok, cls) {
                 (PTok::Digits { min, max }, Class::Digit) => {
-                    (*min..=*max).contains(&text.len())
+                    (*min..=*max).contains(&text.chars().count())
                 }
                 (PTok::Letters { min, max }, Class::Letter) => {
                     (*min..=*max).contains(&text.chars().count())
@@ -173,6 +173,18 @@ mod tests {
         let p = infer_pattern(&["AAPL", "GE"]).unwrap();
         assert!(p.matches("MSFT"));
         assert!(!p.matches("TOOLONGG"));
+        assert!(!p.matches("123"));
+    }
+
+    #[test]
+    fn non_ascii_digit_runs_bound_by_char_count() {
+        // Arabic-Indic digits are two bytes each in UTF-8; run-length
+        // bounds must count characters, not bytes, or the mixed-script
+        // pattern would accept 8-digit ASCII strings.
+        let p = infer_pattern(&["٠١٢٣", "4567"]).unwrap();
+        assert!(p.matches("8901"));
+        assert!(p.matches("٤٥٦٧"));
+        assert!(!p.matches("12345678"));
         assert!(!p.matches("123"));
     }
 

@@ -6,10 +6,12 @@
 //! cargo run --release --example detect_columns
 //! ```
 
-use autotype::{AutoType, AutoTypeConfig, NegativeMode};
+use autotype::{AutoType, AutoTypeConfig, BatchValidator, NegativeMode};
 use autotype_corpus::{build_corpus, CorpusConfig};
 use autotype_rank::Method;
-use autotype_tables::{generate_columns, TableConfig, VALUE_THRESHOLD};
+use autotype_tables::{
+    detect_by_values_batched, generate_columns, SyncValueDetector, TableConfig, VALUE_THRESHOLD,
+};
 use autotype_typesys::by_slug;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,7 +22,7 @@ fn main() {
 
     // Synthesize a detector for each type of interest.
     let slugs = ["ipv4", "creditcard", "isbn", "email", "datetime"];
-    let mut detectors = Vec::new();
+    let mut synthesized = Vec::new();
     for slug in slugs {
         let ty = by_slug(slug).unwrap();
         let positives = ty.examples(&mut rng, 20);
@@ -29,7 +31,7 @@ fn main() {
             .expect("session");
         let top = session.rank(Method::DnfS).into_iter().next().expect("ranked");
         println!("{slug}: synthesized from {}", top.label);
-        detectors.push((slug, session, top));
+        synthesized.push((slug, session, top));
     }
 
     // A small column corpus (mirrors the sales-transactions table of the
@@ -44,29 +46,39 @@ fn main() {
     );
     println!("\nannotating {} columns (>{:.0}% of values must pass):", columns.len(), VALUE_THRESHOLD * 100.0);
 
-    let mut annotated = 0;
-    for (idx, column) in columns.iter().enumerate() {
-        for (slug, session, top) in detectors.iter_mut() {
-            let accepted = column
-                .values
-                .iter()
-                .filter(|v| session.validate(top, v))
-                .count();
-            if accepted as f64 / column.values.len().max(1) as f64 > VALUE_THRESHOLD {
-                println!(
-                    "  column {idx:>3} {:<12} detected as {slug:<11} (truth: {:?}), e.g. {:?}",
-                    column
-                        .header
-                        .as_deref()
-                        .map(|h| format!("{h:?}"))
-                        .unwrap_or_else(|| "<no header>".into()),
-                    column.truth,
-                    column.values.first().unwrap()
-                );
-                annotated += 1;
-                break;
-            }
-        }
+    // Batch the whole column × detector matrix through the engine's exec
+    // pool: each synthesized validator becomes a thread-safe batch handle,
+    // and the index-ordered merge keeps first-matching-type-wins semantics
+    // identical at every worker count.
+    let handles: Vec<(&'static str, BatchValidator<'_>)> = synthesized
+        .iter()
+        .filter_map(|(slug, session, top)| session.batch_validator(top).map(|bv| (*slug, bv)))
+        .collect();
+    let detectors: Vec<SyncValueDetector<'_>> = handles
+        .iter()
+        .map(|(slug, bv)| {
+            (
+                *slug,
+                Box::new(move |v: &str| bv.accepts(v)) as Box<dyn Fn(&str) -> bool + Sync>,
+            )
+        })
+        .collect();
+    let detections = detect_by_values_batched(&columns, &detectors, engine.pool());
+
+    for d in &detections {
+        let column = &columns[d.column];
+        println!(
+            "  column {:>3} {:<12} detected as {:<11} (truth: {:?}), e.g. {:?}",
+            d.column,
+            column
+                .header
+                .as_deref()
+                .map(|h| format!("{h:?}"))
+                .unwrap_or_else(|| "<no header>".into()),
+            d.slug,
+            column.truth,
+            column.values.first().unwrap()
+        );
     }
-    println!("\n{annotated} columns annotated with rich semantic types");
+    println!("\n{} columns annotated with rich semantic types", detections.len());
 }
