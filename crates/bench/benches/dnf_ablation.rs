@@ -20,7 +20,9 @@ fn synthetic_input(n_lits: usize, seed: u64) -> CoverInput {
         match l {
             // The separating pair.
             0 => (0..n_pos).for_each(|e| set.insert(e)),
-            1 => (0..n_pos).chain(n_pos..n_pos + 10).for_each(|e| set.insert(e)),
+            1 => (0..n_pos)
+                .chain(n_pos..n_pos + 10)
+                .for_each(|e| set.insert(e)),
             // Redundant copies of literal 0 (grouping fodder).
             2..=6 => (0..n_pos).for_each(|e| set.insert(e)),
             // Noise.

@@ -50,9 +50,11 @@ fn bench_rank_methods(c: &mut Criterion) {
     let (mut session, _) = session_for(&engine, "creditcard", 20, 7);
     let mut group = c.benchmark_group("rank_method");
     for method in Method::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &method, |b, m| {
-            b.iter(|| std::hint::black_box(session.rank(*m)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, m| b.iter(|| std::hint::black_box(session.rank(*m))),
+        );
     }
     group.finish();
 }

@@ -18,7 +18,7 @@
 //! table corpus so the whole suite finishes in minutes; `--full` evaluates
 //! all 112 benchmark types and the full-scale column corpus.
 
-use autotype_bench::{engine_with_workers, standard_engine};
+use autotype_bench::{engine_with_workers, session_for, standard_engine};
 use autotype_corpus::{build_corpus, CorpusConfig};
 use autotype_eval as eval;
 use autotype_eval::EvalConfig;
@@ -26,6 +26,7 @@ use autotype_exec::ExecPool;
 use autotype_rank::Method;
 use autotype_search::SearchEngine;
 use autotype_typesys::{popular_types, registry, SemanticType};
+use rand::SeedableRng;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,7 +51,10 @@ fn main() {
     let run = |name: &str| which == name || which == "all";
 
     if run("fig8") {
-        println!("== Figure 8: ranking quality ({} types) ==", fig8_types.len());
+        println!(
+            "== Figure 8: ranking quality ({} types) ==",
+            fig8_types.len()
+        );
         let results = eval::fig8(&engine, fig8_types, &cfg);
         print!("{:<8}", "method");
         for k in 1..=cfg.k_max {
@@ -96,7 +100,10 @@ fn main() {
         }
         let labels = ["0", "1-2", "3-4", "5-6", "7-9", "10-14", "15+"];
         for (label, count) in labels.iter().zip(buckets) {
-            println!("  {label:>6} relevant functions: {count:>3} types {}", "#".repeat(count));
+            println!(
+                "  {label:>6} relevant functions: {count:>3} types {}",
+                "#".repeat(count)
+            );
         }
         println!();
     }
@@ -115,8 +122,16 @@ fn main() {
         println!("== Figure 10(b): noise in positive examples (DNF-S) ==");
         println!("{:<12} p@1   p@2   p@3   p@4", "noise");
         for noise in [0.0, 0.1, 0.2, 0.3] {
-            let p = eval::sensitivity_examples(&engine, &popular, &cfg, cfg.n_pos, noise, Method::DnfS);
-            println!("{:<12} {:.2}  {:.2}  {:.2}  {:.2}", format!("{:.0}%", noise * 100.0), p[0], p[1], p[2], p[3]);
+            let p =
+                eval::sensitivity_examples(&engine, &popular, &cfg, cfg.n_pos, noise, Method::DnfS);
+            println!(
+                "{:<12} {:.2}  {:.2}  {:.2}  {:.2}",
+                format!("{:.0}%", noise * 100.0),
+                p[0],
+                p[1],
+                p[2],
+                p[3]
+            );
         }
         println!();
     }
@@ -125,7 +140,10 @@ fn main() {
         println!("== Figure 10(c): negative-generation ablation ==");
         println!("{:<18} p@1   p@2   p@3   p@4", "mode");
         for (label, p) in eval::fig10c(&engine, &popular, &cfg) {
-            println!("{label:<18} {:.2}  {:.2}  {:.2}  {:.2}", p[0], p[1], p[2], p[3]);
+            println!(
+                "{label:<18} {:.2}  {:.2}  {:.2}  {:.2}",
+                p[0], p[1], p[2], p[3]
+            );
         }
         println!();
     }
@@ -148,10 +166,20 @@ fn main() {
         println!("== Figure 13: LR sensitivity to #examples vs DNF-S ==");
         println!("{:<22} p@1   p@2   p@3   p@4", "setting");
         let d = eval::sensitivity_examples(&engine, &popular, &cfg, 20, 0.0, Method::DnfS);
-        println!("{:<22} {:.2}  {:.2}  {:.2}  {:.2}", "DNF-S #pos=20", d[0], d[1], d[2], d[3]);
+        println!(
+            "{:<22} {:.2}  {:.2}  {:.2}  {:.2}",
+            "DNF-S #pos=20", d[0], d[1], d[2], d[3]
+        );
         for n in [10usize, 20, 30] {
             let p = eval::sensitivity_examples(&engine, &popular, &cfg, n, 0.0, Method::Lr);
-            println!("{:<22} {:.2}  {:.2}  {:.2}  {:.2}", format!("LR #pos={n}"), p[0], p[1], p[2], p[3]);
+            println!(
+                "{:<22} {:.2}  {:.2}  {:.2}  {:.2}",
+                format!("LR #pos={n}"),
+                p[0],
+                p[1],
+                p[2],
+                p[3]
+            );
         }
         println!();
     }
@@ -279,6 +307,83 @@ fn bench_json() {
         );
         detection_rows.push((out.timings, index_build_ms, out.dnf.len()));
     }
+
+    // --- Serve: pack cold-load and verdict-cache latency. ---
+    // Synthesize one pack per slug, then measure what a deployment sees:
+    // cold pack load, first (uncached) batch, repeat (cached) batch.
+    println!("== bench-json: serve (pack cold-load + verdict cache) ==");
+    struct ServeRow {
+        slug: String,
+        pack_id: String,
+        pack_bytes: u64,
+        cold_load_ms: f64,
+    }
+    let pack_dir =
+        std::env::temp_dir().join(format!("autotype-bench-packs-{}", std::process::id()));
+    std::fs::create_dir_all(&pack_dir).expect("pack dir");
+    let engine = standard_engine();
+    let mut serve_rows: Vec<ServeRow> = Vec::new();
+    let mut batch: Vec<String> = Vec::new();
+    for (i, slug) in slugs.iter().enumerate() {
+        let (mut session, ty) = session_for(&engine, slug, 20, 0xBEEF + i as u64);
+        let ranked = session.rank(Method::DnfS);
+        let Some(top) = ranked.first().cloned() else {
+            eprintln!("  skipped {slug}: nothing ranked");
+            continue;
+        };
+        let path = pack_dir.join(format!("{i:02}-{slug}.atpk"));
+        session
+            .save_pack(&top, slug, Method::DnfS, &path)
+            .expect("save pack");
+        let pack_bytes = std::fs::metadata(&path).expect("pack metadata").len();
+        let t = std::time::Instant::now();
+        let validator = autotype_pack::load_pack(&path).expect("load pack");
+        let cold_load_ms = ms(t);
+        println!(
+            "serve: {:<12} pack {:>7} bytes  cold-load {:>7.3} ms  ({})",
+            slug,
+            pack_bytes,
+            cold_load_ms,
+            validator.pack_id()
+        );
+        serve_rows.push(ServeRow {
+            slug: slug.to_string(),
+            pack_id: validator.pack_id().to_string(),
+            pack_bytes,
+            cold_load_ms,
+        });
+        // The probe batch: this type's positives plus shared junk.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xCAFE + i as u64);
+        batch.extend(ty.examples(&mut rng, 20));
+    }
+    for junk in ["", "hello world", "12345", "not-a-type", "###"] {
+        batch.push(junk.to_string());
+    }
+    let serve_workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let runtime = autotype_serve::DetectorRuntime::load_dir(&pack_dir, serve_workers, 65_536)
+        .expect("serve runtime");
+    let t = std::time::Instant::now();
+    let uncached = runtime.detect_batch(&batch);
+    let uncached_batch_ms = ms(t);
+    let t = std::time::Instant::now();
+    let cached = runtime.detect_batch(&batch);
+    let cached_batch_ms = ms(t);
+    assert_eq!(uncached, cached, "cache must be verdict-transparent");
+    let hit_rate = runtime.metrics().hit_rate();
+    let per_value = |total_ms: f64| total_ms * 1e3 / batch.len().max(1) as f64;
+    println!(
+        "serve: batch of {} values  uncached {:>8.3} ms ({:>7.1} us/value)  cached {:>7.3} ms ({:>6.1} us/value)  hit rate {:.3}",
+        batch.len(),
+        uncached_batch_ms,
+        per_value(uncached_batch_ms),
+        cached_batch_ms,
+        per_value(cached_batch_ms),
+        hit_rate
+    );
+    std::fs::remove_dir_all(&pack_dir).ok();
+
     let mut out = String::from(
         "{\n  \"bench\": \"pipeline_stage_timings\",\n  \"unit\": \"ms\",\n  \"stages\": [\"retrieval\", \"trace\", \"rank\", \"validate\"],\n  \"rows\": [\n",
     );
@@ -313,11 +418,34 @@ fn bench_json() {
             if i + 1 == detection_rows.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n  \"serve_rows\": [\n");
+    for (i, r) in serve_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"slug\": \"{}\", \"pack_id\": \"{}\", \"pack_bytes\": {}, \"cold_load_ms\": {:.3}}}{}\n",
+            r.slug,
+            r.pack_id,
+            r.pack_bytes,
+            r.cold_load_ms,
+            if i + 1 == serve_rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"serve_summary\": {{\"packs\": {}, \"workers\": {}, \"batch_values\": {}, \"uncached_batch_ms\": {:.3}, \"uncached_us_per_value\": {:.1}, \"cached_batch_ms\": {:.3}, \"cached_us_per_value\": {:.1}, \"cache_hit_rate\": {:.4}}}\n",
+        serve_rows.len(),
+        serve_workers,
+        batch.len(),
+        uncached_batch_ms,
+        per_value(uncached_batch_ms),
+        cached_batch_ms,
+        per_value(cached_batch_ms),
+        hit_rate
+    ));
+    out.push_str("}\n");
     std::fs::write("BENCH_pipeline.json", &out).expect("write BENCH_pipeline.json");
     println!(
-        "wrote BENCH_pipeline.json ({} pipeline rows, {} detection rows)",
+        "wrote BENCH_pipeline.json ({} pipeline rows, {} detection rows, {} serve rows)",
         rows.len(),
-        detection_rows.len()
+        detection_rows.len(),
+        serve_rows.len()
     );
 }

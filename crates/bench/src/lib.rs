@@ -8,7 +8,10 @@ use rand::SeedableRng;
 
 /// Build the standard engine over the default corpus.
 pub fn standard_engine() -> AutoType {
-    AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default())
+    AutoType::new(
+        build_corpus(&CorpusConfig::default()),
+        AutoTypeConfig::default(),
+    )
 }
 
 /// Build an engine with an explicit trace-execution worker count
@@ -23,7 +26,12 @@ pub fn engine_with_workers(workers: usize) -> AutoType {
 
 /// A ready-made synthesis session for a type (panics if retrieval fails —
 /// only used for covered types).
-pub fn session_for<'a>(engine: &'a AutoType, slug: &str, n_pos: usize, seed: u64) -> (Session<'a>, &'static SemanticType) {
+pub fn session_for<'a>(
+    engine: &'a AutoType,
+    slug: &str,
+    n_pos: usize,
+    seed: u64,
+) -> (Session<'a>, &'static SemanticType) {
     let ty = by_slug(slug).expect("known type");
     let mut rng = StdRng::seed_from_u64(seed);
     let positives = ty.examples(&mut rng, n_pos);

@@ -37,14 +37,13 @@ use std::collections::BTreeSet;
 
 use autotype_corpus::{Corpus, Quality};
 use autotype_dnf::CoverParams;
-use autotype_exec::{
-    analyze_module, featurize, Candidate, EntryPoint, Executor, Literal, PackageIndex,
-};
 pub use autotype_exec::ExecPool;
-use autotype_lang::Program;
-use autotype_negative::{
-    generate_negatives, random_negatives, MutationConfig, Strategy,
+use autotype_exec::{
+    analyze_module, featurize, probe_trace, Candidate, EntryPoint, Executor, Literal, PackageIndex,
 };
+use autotype_lang::Program;
+use autotype_negative::{generate_negatives, random_negatives, MutationConfig, Strategy};
+pub use autotype_pack::{load_pack, Pack, PackError, PackValidator};
 use autotype_rank::{rank as rank_methods, FunctionTraces, Method, RankCandidate};
 use autotype_search::{union_top_k, Document, Field, SearchEngine};
 use autotype_synth::{
@@ -218,7 +217,11 @@ impl AutoType {
 
     /// Keyword retrieval: union of top-k from both engines (§4.1).
     pub fn retrieve(&self, keyword: &str) -> Vec<usize> {
-        union_top_k(&[&self.github, &self.bing], keyword, self.config.top_k_repos)
+        union_top_k(
+            &[&self.github, &self.bing],
+            keyword,
+            self.config.top_k_repos,
+        )
     }
 
     /// Build a synthesis session for a target type.
@@ -356,9 +359,7 @@ impl<'a> Session<'a> {
                     let separable = traces.iter().any(|t| {
                         let (input, _) = t.cover_input();
                         autotype_dnf::best_k_concise_cover(&input, &self.engine.config.cover)
-                            .is_some_and(|c| {
-                                c.pos_fraction() >= 0.95 && c.neg_fraction() <= 0.4
-                            })
+                            .is_some_and(|c| c.pos_fraction() >= 0.95 && c.neg_fraction() <= 0.4)
                     });
                     self.negatives = negatives;
                     self.traces = traces;
@@ -602,7 +603,12 @@ impl<'a> Session<'a> {
                 document: self.documents[id].clone(),
             })
             .collect();
-        let ranked = rank_methods(method, &rank_inputs, &self.keyword, &self.engine.config.cover);
+        let ranked = rank_methods(
+            method,
+            &rank_inputs,
+            &self.keyword,
+            &self.engine.config.cover,
+        );
         ranked
             .into_iter()
             .map(|r| {
@@ -695,24 +701,8 @@ impl<'a> Session<'a> {
             .find(|(repo, _)| *repo == sc_repo)
             .map(|(_, e)| e)
             .expect("executor");
-        let outcome = exec.run(&candidate, input, &self.engine.packages);
-        self.fuel_spent += outcome.fuel_used;
-        let mut trace = featurize(&outcome.trace);
-        // Reconstruct the synthetic black-box literal so validators
-        // synthesized from the RET baseline's view evaluate correctly.
-        match &outcome.result {
-            Ok(value) => {
-                trace.insert(Literal::Ret {
-                    site: autotype_lang::SiteId::new(u32::MAX, 0),
-                    value: autotype_lang::ValueSummary::of(value),
-                });
-            }
-            Err(e) => {
-                trace.insert(Literal::Exception {
-                    kind: e.kind.clone(),
-                });
-            }
-        }
+        let (trace, fuel_used) = probe_trace(exec, &candidate, input, &self.engine.packages);
+        self.fuel_spent += fuel_used;
         validator.accepts(&trace)
     }
 
@@ -752,6 +742,91 @@ impl<'a> Session<'a> {
     /// session's Figure 14 cost measure.
     pub fn absorb_batch(&mut self, batch: BatchValidator<'_>) {
         self.fuel_spent += batch.fuel.into_inner();
+    }
+
+    /// Export a ranked function's synthesized validator as a portable
+    /// detector [`Pack`] — the offline artifact of the offline-synthesis /
+    /// online-serving split. The pack snapshots the DNF-E, the candidate's
+    /// entry point, the executor's complete program source (in file-id
+    /// order, so every trace `SiteId` resolves identically at load time),
+    /// and the pip-index slice for dynamic installs, plus ranking metadata
+    /// and provenance.
+    ///
+    /// Returns `None` for functions without a synthesized validator (KW/LR
+    /// rankings) or whose candidate no longer resolves — the same cases
+    /// where [`validate`](Session::validate) answers `false` for every
+    /// input. A rehydrated pack validator's verdicts are bit-identical to
+    /// [`batch_validator`](Session::batch_validator)'s.
+    pub fn export_pack(
+        &self,
+        function: &RankedFunction,
+        slug: &str,
+        method: Method,
+    ) -> Option<Pack> {
+        let validator = function.validator.as_ref()?;
+        let sc = self.candidates.iter().find(|sc| {
+            sc.repo == function.repo
+                && sc.file == function.file
+                && sc.candidate.entry == function.entry
+        })?;
+        let (_, exec) = self.executors.iter().find(|(repo, _)| *repo == sc.repo)?;
+        let repo = self.engine.corpus.repository(sc.repo);
+        // Snapshot every program file's source in file-id order. Each file
+        // is either one of the repository's own files or an installed
+        // package; a file satisfying neither would mean the snapshot cannot
+        // be reproduced, so refuse to export rather than emit a broken pack.
+        let mut files = Vec::with_capacity(exec.program().files.len());
+        for file in &exec.program().files {
+            let source = repo
+                .files
+                .iter()
+                .find(|f| f.name == file.name)
+                .map(|f| f.source.clone())
+                .or_else(|| self.engine.packages.get(&file.name).map(str::to_string))?;
+            files.push((file.name.clone(), source));
+        }
+        Some(Pack {
+            slug: slug.to_string(),
+            keyword: self.keyword.clone(),
+            label: function.label.clone(),
+            repo_name: repo.name.clone(),
+            file: function.file.clone(),
+            strategy: self.strategy.map(|s| s.to_string()).unwrap_or_default(),
+            method: method.name().to_string(),
+            score: function.score,
+            neg_fraction: function.neg_fraction,
+            explanation: function.explanation.clone(),
+            fuel: self.engine.config.fuel,
+            installs: exec.installs as u64,
+            candidate_file: sc.candidate.file,
+            entry: sc.candidate.entry.clone(),
+            files,
+            packages: self
+                .engine
+                .packages
+                .iter()
+                .map(|(n, s)| (n.to_string(), s.to_string()))
+                .collect(),
+            dnf_e: validator.dnf_e.clone(),
+        })
+    }
+
+    /// [`export_pack`](Session::export_pack) straight to disk.
+    pub fn save_pack(
+        &self,
+        function: &RankedFunction,
+        slug: &str,
+        method: Method,
+        path: &std::path::Path,
+    ) -> Result<Pack, PackError> {
+        let pack = self.export_pack(function, slug, method).ok_or_else(|| {
+            PackError::Malformed(format!(
+                "{}: no synthesized validator to export",
+                function.label
+            ))
+        })?;
+        pack.save(path)?;
+        Ok(pack)
     }
 
     /// Run a ranked function directly and report whether it *accepted* the
@@ -840,26 +915,9 @@ impl BatchValidator<'_> {
     /// `∧T(s) → DNF-E`.
     pub fn accepts(&self, input: &str) -> bool {
         let mut exec = self.exec.clone();
-        let outcome = exec.run(&self.candidate, input, self.packages);
+        let (trace, fuel_used) = probe_trace(&mut exec, &self.candidate, input, self.packages);
         self.fuel
-            .fetch_add(outcome.fuel_used, std::sync::atomic::Ordering::Relaxed);
-        let mut trace = featurize(&outcome.trace);
-        // Reconstruct the synthetic black-box literal so validators
-        // synthesized from the RET baseline's view evaluate correctly
-        // (mirrors Session::validate).
-        match &outcome.result {
-            Ok(value) => {
-                trace.insert(Literal::Ret {
-                    site: autotype_lang::SiteId::new(u32::MAX, 0),
-                    value: autotype_lang::ValueSummary::of(value),
-                });
-            }
-            Err(e) => {
-                trace.insert(Literal::Exception {
-                    kind: e.kind.clone(),
-                });
-            }
-        }
+            .fetch_add(fuel_used, std::sync::atomic::Ordering::Relaxed);
         self.validator.accepts(&trace)
     }
 
@@ -878,7 +936,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn engine() -> AutoType {
-        AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default())
+        AutoType::new(
+            build_corpus(&CorpusConfig::default()),
+            AutoTypeConfig::default(),
+        )
     }
 
     fn positives(slug: &str, n: usize, seed: u64) -> Vec<String> {
@@ -900,7 +961,12 @@ mod tests {
         let ranked = session.rank(Method::DnfS);
         assert!(!ranked.is_empty());
         let top = &ranked[0];
-        assert_eq!(top.intent, Some("creditcard"), "top-1 must be relevant: {}", top.label);
+        assert_eq!(
+            top.intent,
+            Some("creditcard"),
+            "top-1 must be relevant: {}",
+            top.label
+        );
         assert!(top.score > 0.9, "top-1 score {}", top.score);
         // The synthesized validator detects fresh positives and rejects
         // corrupted ones.
@@ -967,9 +1033,12 @@ mod tests {
         let pos = positives("lcc", 10, 5);
         // Retrieval may hit distractor repos; ranking must not produce a
         // relevant (intent-matching) top function.
-        if let Some(mut session) =
-            engine.session("Library of Congress Classification", &pos, NegativeMode::Hierarchy, &mut rng)
-        {
+        if let Some(mut session) = engine.session(
+            "Library of Congress Classification",
+            &pos,
+            NegativeMode::Hierarchy,
+            &mut rng,
+        ) {
             let ranked = session.rank(Method::DnfS);
             assert!(ranked.iter().all(|f| f.intent != Some("lcc")));
         }

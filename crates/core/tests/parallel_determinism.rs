@@ -45,9 +45,20 @@ fn snapshot(engine: &AutoType, keyword: &str, slug: &str, seed: u64) -> Snapshot
     let ranking: Vec<(String, f64, f64, String)> = session
         .rank(Method::DnfS)
         .iter()
-        .map(|f| (f.label.clone(), f.score, f.neg_fraction, f.explanation.clone()))
+        .map(|f| {
+            (
+                f.label.clone(),
+                f.score,
+                f.neg_fraction,
+                f.explanation.clone(),
+            )
+        })
         .collect();
-    let top = session.rank(Method::DnfS).into_iter().next().expect("ranked");
+    let top = session
+        .rank(Method::DnfS)
+        .into_iter()
+        .next()
+        .expect("ranked");
     let probes = {
         let mut prng = StdRng::seed_from_u64(seed ^ 0xD00D);
         let mut p = by_slug(slug).unwrap().examples(&mut prng, 4);

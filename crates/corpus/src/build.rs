@@ -37,9 +37,10 @@ pub fn build_corpus(config: &CorpusConfig) -> Corpus {
     corpus
         .packages
         .insert("relib".to_string(), pylite::relib_source().to_string());
-    corpus
-        .packages
-        .insert("checklib".to_string(), pylite::checklib_source().to_string());
+    corpus.packages.insert(
+        "checklib".to_string(),
+        pylite::checklib_source().to_string(),
+    );
 
     for ty in registry() {
         match ty.coverage {
@@ -194,8 +195,20 @@ fn add_distractors(corpus: &mut Corpus, config: &CorpusConfig) {
 
     // The Swift-language fleet: saturates the bare "SWIFT" query.
     const SWIFT_TOPICS: &[&str] = &[
-        "tutorial", "examples", "compiler", "syntax", "playground", "cookbook", "patterns",
-        "snippets", "macros", "concurrency", "generics", "protocols", "closures", "optionals",
+        "tutorial",
+        "examples",
+        "compiler",
+        "syntax",
+        "playground",
+        "cookbook",
+        "patterns",
+        "snippets",
+        "macros",
+        "concurrency",
+        "generics",
+        "protocols",
+        "closures",
+        "optionals",
     ];
     for i in 0..config.swift_fleet {
         let topic = SWIFT_TOPICS[i % SWIFT_TOPICS.len()];
@@ -217,8 +230,18 @@ fn add_distractors(corpus: &mut Corpus, config: &CorpusConfig) {
     // The "number"-dense fleet: makes the non-standard "DOI number" query
     // retrieve the wrong repositories.
     const NUMBER_TOPICS: &[&str] = &[
-        "serial", "account", "invoice", "ticket", "tracking", "order", "part", "batch", "lot",
-        "case", "reference", "customer",
+        "serial",
+        "account",
+        "invoice",
+        "ticket",
+        "tracking",
+        "order",
+        "part",
+        "batch",
+        "lot",
+        "case",
+        "reference",
+        "customer",
     ];
     for i in 0..config.number_fleet {
         let topic = NUMBER_TOPICS[i % NUMBER_TOPICS.len()];

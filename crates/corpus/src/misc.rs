@@ -130,7 +130,13 @@ def {func}(s):
 }
 
 /// Percent-tuple colors: `cmyk(..%, ..%, ..%, ..%)` / `hsl(h, s%, l%)`.
-pub fn percent_color_validator(func: &str, prefix: &str, parts: usize, first_is_plain: bool, first_max: u32) -> String {
+pub fn percent_color_validator(
+    func: &str,
+    prefix: &str,
+    parts: usize,
+    first_is_plain: bool,
+    first_max: u32,
+) -> String {
     let first_check = if first_is_plain {
         format!(
             r#"    q = items[0].strip()

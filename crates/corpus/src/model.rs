@@ -95,7 +95,10 @@ impl Corpus {
         for repo in &self.repositories {
             for file in &repo.files {
                 parse_source(&file.source).map_err(|e| {
-                    format!("{}/{}: {e}\n--- source ---\n{}", repo.name, file.name, file.source)
+                    format!(
+                        "{}/{}: {e}\n--- source ---\n{}",
+                        repo.name, file.name, file.source
+                    )
                 })?;
             }
         }

@@ -46,39 +46,120 @@ fn bases_for(slug: &str) -> Vec<Base> {
     match slug {
         // --- checksum family -------------------------------------------
         "creditcard" => vec![
-            base(pylite::creditcard_validator("is_valid_card", true, true), "is_valid_card"),
+            base(
+                pylite::creditcard_validator("is_valid_card", true, true),
+                "is_valid_card",
+            ),
             base(pylite::creditcard_class(), "CreditCard.read_from_number"),
-            sloppy(pylite::creditcard_validator("check_card", false, false), "check_card"),
+            sloppy(
+                pylite::creditcard_validator("check_card", false, false),
+                "check_card",
+            ),
         ],
-        "imei" => vec![base(pylite::luhn_fixed_len("is_valid_imei", 15, "validate IMEI mobile equipment identifiers"), "is_valid_imei")],
-        "uic" => vec![base(pylite::luhn_fixed_len("check_wagon_number", 12, "validate UIC railway wagon numbers"), "check_wagon_number")],
-        "isin" => vec![base(pylite::isin_validator("is_valid_isin"), "is_valid_isin")],
+        "imei" => vec![base(
+            pylite::luhn_fixed_len(
+                "is_valid_imei",
+                15,
+                "validate IMEI mobile equipment identifiers",
+            ),
+            "is_valid_imei",
+        )],
+        "uic" => vec![base(
+            pylite::luhn_fixed_len(
+                "check_wagon_number",
+                12,
+                "validate UIC railway wagon numbers",
+            ),
+            "check_wagon_number",
+        )],
+        "isin" => vec![base(
+            pylite::isin_validator("is_valid_isin"),
+            "is_valid_isin",
+        )],
         "upc" => vec![
             // The paper's §9.2 false positive: the best available UPC code
             // computes the checksum without verifying the length, so ISBN
             // columns (same GS1 algorithm) slip through.
-            sloppy(pylite::gs1_validator("check_upc", &[], None, "validate UPC universal product codes"), "check_upc"),
+            sloppy(
+                pylite::gs1_validator(
+                    "check_upc",
+                    &[],
+                    None,
+                    "validate UPC universal product codes",
+                ),
+                "check_upc",
+            ),
         ],
         "ean" => vec![
-            base(pylite::gs1_validator("is_valid_ean", &[8, 13], None, "validate EAN european article numbers"), "is_valid_ean"),
-            sloppy(pylite::gs1_validator("ean_checksum_ok", &[], None, "EAN barcode checksum"), "ean_checksum_ok"),
+            base(
+                pylite::gs1_validator(
+                    "is_valid_ean",
+                    &[8, 13],
+                    None,
+                    "validate EAN european article numbers",
+                ),
+                "is_valid_ean",
+            ),
+            sloppy(
+                pylite::gs1_validator("ean_checksum_ok", &[], None, "EAN barcode checksum"),
+                "ean_checksum_ok",
+            ),
         ],
-        "gtin" => vec![base(pylite::gs1_validator("is_valid_gtin", &[14], None, "validate GTIN global trade item numbers"), "is_valid_gtin")],
-        "gln" => vec![base(pylite::gs1_validator("is_valid_gln", &[13], None, "validate GLN global location numbers"), "is_valid_gln")],
-        "ismn" => vec![base(pylite::gs1_validator("is_valid_ismn", &[13], Some("9790"), "validate ISMN music numbers"), "is_valid_ismn")],
+        "gtin" => vec![base(
+            pylite::gs1_validator(
+                "is_valid_gtin",
+                &[14],
+                None,
+                "validate GTIN global trade item numbers",
+            ),
+            "is_valid_gtin",
+        )],
+        "gln" => vec![base(
+            pylite::gs1_validator(
+                "is_valid_gln",
+                &[13],
+                None,
+                "validate GLN global location numbers",
+            ),
+            "is_valid_gln",
+        )],
+        "ismn" => vec![base(
+            pylite::gs1_validator(
+                "is_valid_ismn",
+                &[13],
+                Some("9790"),
+                "validate ISMN music numbers",
+            ),
+            "is_valid_ismn",
+        )],
         "isbn" => vec![
             base(pylite::isbn_validator("is_valid_isbn"), "is_valid_isbn"),
             base(pylite::isbn_parser(), "parse_isbn"),
         ],
-        "issn" => vec![base(pylite::issn_validator("is_valid_issn"), "is_valid_issn")],
+        "issn" => vec![base(
+            pylite::issn_validator("is_valid_issn"),
+            "is_valid_issn",
+        )],
         "iban" => vec![
-            base(pylite::iban_validator("validate_iban", false), "validate_iban"),
+            base(
+                pylite::iban_validator("validate_iban", false),
+                "validate_iban",
+            ),
             base(pylite::iban_validator("parse_iban", true), "parse_iban"),
         ],
         "lei" => vec![base(pylite::lei_validator("is_valid_lei"), "is_valid_lei")],
-        "cusip" => vec![base(pylite::cusip_validator("is_valid_cusip"), "is_valid_cusip")],
-        "sedol" => vec![base(pylite::sedol_validator("is_valid_sedol"), "is_valid_sedol")],
-        "aba" => vec![base(pylite::aba_validator("is_valid_routing"), "is_valid_routing")],
+        "cusip" => vec![base(
+            pylite::cusip_validator("is_valid_cusip"),
+            "is_valid_cusip",
+        )],
+        "sedol" => vec![base(
+            pylite::sedol_validator("is_valid_sedol"),
+            "is_valid_sedol",
+        )],
+        "aba" => vec![base(
+            pylite::aba_validator("is_valid_routing"),
+            "is_valid_routing",
+        )],
         "vin" => vec![
             base(pylite::vin_validator("validate_vin", false), "validate_vin"),
             base(pylite::vin_validator("decode_vin", true), "decode_vin"),
@@ -87,20 +168,38 @@ fn bases_for(slug: &str) -> Vec<Base> {
         "nhs" => vec![base(pylite::nhs_validator("is_valid_nhs"), "is_valid_nhs")],
         "dea" => vec![base(pylite::dea_validator("is_valid_dea"), "is_valid_dea")],
         "cas" => vec![base(pylite::cas_validator("is_valid_cas"), "is_valid_cas")],
-        "orcid" => vec![base(pylite::orcid_validator("is_valid_orcid"), "is_valid_orcid")],
-        "chinaid" => vec![base(pylite::chinaid_validator("parse_resident_id"), "parse_resident_id")],
-        "nmea" => vec![base(pylite::nmea_validator("check_sentence"), "check_sentence")],
+        "orcid" => vec![base(
+            pylite::orcid_validator("is_valid_orcid"),
+            "is_valid_orcid",
+        )],
+        "chinaid" => vec![base(
+            pylite::chinaid_validator("parse_resident_id"),
+            "parse_resident_id",
+        )],
+        "nmea" => vec![base(
+            pylite::nmea_validator("check_sentence"),
+            "check_sentence",
+        )],
 
         // --- structural parsers ----------------------------------------
         "ipv4" => vec![
             base(snippets::ipv4_parser("parse_ipv4", true), "parse_ipv4"),
             sloppy(snippets::ipv4_parser("split_ip", false), "split_ip"),
         ],
-        "ipv6" => vec![base(snippets::ipv6_validator("is_valid_ipv6"), "is_valid_ipv6")],
+        "ipv6" => vec![base(
+            snippets::ipv6_validator("is_valid_ipv6"),
+            "is_valid_ipv6",
+        )],
         "url" => vec![base(snippets::url_parser("parse_url"), "parse_url")],
         "email" => vec![
-            base(snippets::email_validator("is_valid_email", false), "is_valid_email"),
-            base(snippets::email_validator("parse_email", true), "parse_email"),
+            base(
+                snippets::email_validator("is_valid_email", false),
+                "is_valid_email",
+            ),
+            base(
+                snippets::email_validator("parse_email", true),
+                "parse_email",
+            ),
         ],
         "phone" => vec![base(snippets::phone_parser("parse_phone"), "parse_phone")],
         "address" => vec![base(
@@ -109,37 +208,79 @@ fn bases_for(slug: &str) -> Vec<Base> {
         )],
         "datetime" => vec![base(snippets::date_parser("parse_date"), "parse_date")],
         "json" => vec![base(snippets::json_validator("is_json"), "is_json")],
-        "xml" => vec![base(snippets::xml_validator("is_well_formed_xml"), "is_well_formed_xml")],
-        "html" => vec![base(snippets::html_validator("looks_like_html"), "looks_like_html")],
+        "xml" => vec![base(
+            snippets::xml_validator("is_well_formed_xml"),
+            "is_well_formed_xml",
+        )],
+        "html" => vec![base(
+            snippets::html_validator("looks_like_html"),
+            "looks_like_html",
+        )],
         "roman" => vec![base(snippets::roman_parser("roman_to_int"), "roman_to_int")],
-        "currency" => vec![base(snippets::currency_parser("parse_money"), "parse_money")],
-        "chemformula" => vec![base(snippets::chemformula_parser("parse_formula"), "parse_formula")],
-        "smiles" => vec![base(snippets::smiles_validator("is_valid_smiles"), "is_valid_smiles")],
-        "inchi" => vec![base(snippets::inchi_validator("parse_inchi"), "parse_inchi")],
+        "currency" => vec![base(
+            snippets::currency_parser("parse_money"),
+            "parse_money",
+        )],
+        "chemformula" => vec![base(
+            snippets::chemformula_parser("parse_formula"),
+            "parse_formula",
+        )],
+        "smiles" => vec![base(
+            snippets::smiles_validator("is_valid_smiles"),
+            "is_valid_smiles",
+        )],
+        "inchi" => vec![base(
+            snippets::inchi_validator("parse_inchi"),
+            "parse_inchi",
+        )],
         "fasta" => vec![base(snippets::fasta_validator("is_fasta"), "is_fasta")],
         "fastq" => vec![base(snippets::fastq_validator("is_fastq"), "is_fastq")],
-        "geojson" => vec![base(snippets::geojson_validator("is_geojson"), "is_geojson")],
+        "geojson" => vec![base(
+            snippets::geojson_validator("is_geojson"),
+            "is_geojson",
+        )],
         "fix" => vec![base(snippets::fix_parser("parse_fix"), "parse_fix")],
-        "swift" => vec![base(snippets::swift_parser("parse_mt_message"), "parse_mt_message")],
+        "swift" => vec![base(
+            snippets::swift_parser("parse_mt_message"),
+            "parse_mt_message",
+        )],
         "doi" => vec![base(snippets::doi_parser("parse_doi"), "parse_doi")],
         "personname" => vec![base(
             snippets::personname_checker("looks_like_name", pools::FIRST_NAMES),
             "looks_like_name",
         )],
-        "longlat" => vec![base(snippets::longlat_parser("parse_coordinates"), "parse_coordinates")],
-        "oid" => vec![base(snippets::oid_validator("is_valid_oid"), "is_valid_oid")],
-        "unixtime" => vec![base(snippets::unixtime_validator("is_epoch_time"), "is_epoch_time")],
+        "longlat" => vec![base(
+            snippets::longlat_parser("parse_coordinates"),
+            "parse_coordinates",
+        )],
+        "oid" => vec![base(
+            snippets::oid_validator("is_valid_oid"),
+            "is_valid_oid",
+        )],
+        "unixtime" => vec![base(
+            snippets::unixtime_validator("is_epoch_time"),
+            "is_epoch_time",
+        )],
 
         // --- shape / charset types --------------------------------------
         "md5" => vec![base(
             snippets::inline_shape_validator("is_md5", &"h".repeat(32), "detect MD5 hash digests"),
             "is_md5",
         )],
-        "zipcode" => vec![
-            base(snippets::shape_validator("is_zipcode", &["ddddd", "ddddd-dddd"], "validate US zipcodes"), "is_zipcode"),
-        ],
+        "zipcode" => vec![base(
+            snippets::shape_validator(
+                "is_zipcode",
+                &["ddddd", "ddddd-dddd"],
+                "validate US zipcodes",
+            ),
+            "is_zipcode",
+        )],
         "hexcolor" => vec![base(
-            snippets::shape_validator("is_hex_color", &["#hhhhhh", "#hhh"], "validate hex color codes"),
+            snippets::shape_validator(
+                "is_hex_color",
+                &["#hhhhhh", "#hhh"],
+                "validate hex color codes",
+            ),
             "is_hex_color",
         )],
         "guid" => vec![base(
@@ -164,8 +305,14 @@ fn bases_for(slug: &str) -> Vec<Base> {
             snippets::shape_validator(
                 "is_ndc",
                 &[
-                    "dddd-ddd-d", "dddd-ddd-dd", "ddddd-ddd-d", "ddddd-ddd-dd",
-                    "dddd-dddd-d", "dddd-dddd-dd", "ddddd-dddd-d", "ddddd-dddd-dd",
+                    "dddd-ddd-d",
+                    "dddd-ddd-dd",
+                    "ddddd-ddd-d",
+                    "ddddd-ddd-dd",
+                    "dddd-dddd-d",
+                    "dddd-dddd-dd",
+                    "ddddd-dddd-d",
+                    "ddddd-dddd-dd",
                 ],
                 "validate FDA national drug codes",
             ),
@@ -178,7 +325,9 @@ fn bases_for(slug: &str) -> Vec<Base> {
         "icd9" => vec![base(
             snippets::shape_validator(
                 "is_icd9",
-                &["ddd", "ddd.d", "ddd.dd", "Vdd", "Vdd.d", "Vdd.dd", "Eddd", "Eddd.d"],
+                &[
+                    "ddd", "ddd.d", "ddd.dd", "Vdd", "Vdd.d", "Vdd.dd", "Eddd", "Eddd.d",
+                ],
                 "validate ICD-9 diagnosis codes",
             ),
             "is_icd9",
@@ -186,7 +335,10 @@ fn bases_for(slug: &str) -> Vec<Base> {
         "icd10" => vec![base(
             snippets::shape_validator(
                 "is_icd10",
-                &["udd", "udd.d", "udd.dd", "udd.ddd", "udn", "udn.d", "udn.dd", "udn.nnn", "udn.nnnn"],
+                &[
+                    "udd", "udd.d", "udd.dd", "udd.ddd", "udn", "udn.d", "udn.dd", "udn.nnn",
+                    "udn.nnnn",
+                ],
                 "validate ICD-10 diagnosis codes",
             ),
             "is_icd10",
@@ -200,14 +352,21 @@ fn bases_for(slug: &str) -> Vec<Base> {
             "is_atc",
         )],
         "uniprot" => vec![base(
-            snippets::shape_validator("is_uniprot", &["udnnnd"], "validate Uniprot protein accessions"),
+            snippets::shape_validator(
+                "is_uniprot",
+                &["udnnnd"],
+                "validate Uniprot protein accessions",
+            ),
             "is_uniprot",
         )],
         "ensembl" => vec![base(
             snippets::shape_validator(
                 "is_ensembl",
                 &[
-                    "ENSGddddddddddd", "ENSTddddddddddd", "ENSPddddddddddd", "ENSEddddddddddd",
+                    "ENSGddddddddddd",
+                    "ENSTddddddddddd",
+                    "ENSPddddddddddd",
+                    "ENSEddddddddddd",
                 ],
                 "validate Ensembl gene identifiers",
             ),
@@ -244,7 +403,9 @@ fn bases_for(slug: &str) -> Vec<Base> {
         "ukpostcode" => vec![base(
             snippets::shape_validator(
                 "is_uk_postcode",
-                &["ud duu", "udd duu", "uud duu", "uudd duu", "udu duu", "uudu duu"],
+                &[
+                    "ud duu", "udd duu", "uud duu", "uudd duu", "udu duu", "uudu duu",
+                ],
                 "validate UK postal codes",
             ),
             "is_uk_postcode",
@@ -261,7 +422,10 @@ fn bases_for(slug: &str) -> Vec<Base> {
         "usng" => vec![base(misc::mgrs_validator("is_usng", true), "is_usng")],
         "utm" => vec![base(misc::utm_validator("is_utm"), "is_utm")],
         "ticker" => vec![base(misc::ticker_validator("is_ticker"), "is_ticker")],
-        "bitcoin" => vec![base(misc::bitcoin_validator("is_btc_address"), "is_btc_address")],
+        "bitcoin" => vec![base(
+            misc::bitcoin_validator("is_btc_address"),
+            "is_btc_address",
+        )],
         "msisdn" => vec![base(misc::msisdn_validator("is_msisdn"), "is_msisdn")],
         "rgbcolor" => vec![base(misc::rgb_validator("parse_rgb"), "parse_rgb")],
         "cmyk" => vec![base(
@@ -280,28 +444,58 @@ fn bases_for(slug: &str) -> Vec<Base> {
             pool.extend_from_slice(pools::COUNTRY_CODES_3);
             pool.extend_from_slice(pools::COUNTRY_NAMES);
             vec![base(
-                snippets::pool_validator("is_country", &pool, "look up ISO country codes and names", false),
+                snippets::pool_validator(
+                    "is_country",
+                    &pool,
+                    "look up ISO country codes and names",
+                    false,
+                ),
                 "is_country",
             )]
         }
         "usstate" => vec![base(
-            snippets::pool_validator("is_us_state", pools::US_STATES, "look up US state abbreviations", false),
+            snippets::pool_validator(
+                "is_us_state",
+                pools::US_STATES,
+                "look up US state abbreviations",
+                false,
+            ),
             "is_us_state",
         )],
         "airport" => vec![base(
-            snippets::pool_validator("is_airport_code", pools::AIRPORT_CODES, "look up IATA airport codes", false),
+            snippets::pool_validator(
+                "is_airport_code",
+                pools::AIRPORT_CODES,
+                "look up IATA airport codes",
+                false,
+            ),
             "is_airport_code",
         )],
         "drugname" => vec![base(
-            snippets::pool_validator("is_drug_name", pools::DRUG_NAMES, "look up medication drug names", true),
+            snippets::pool_validator(
+                "is_drug_name",
+                pools::DRUG_NAMES,
+                "look up medication drug names",
+                true,
+            ),
             "is_drug_name",
         )],
         "bookname" => vec![base(
-            snippets::pool_validator("is_book_title", pools::BOOK_TITLES, "look up famous book titles", false),
+            snippets::pool_validator(
+                "is_book_title",
+                pools::BOOK_TITLES,
+                "look up famous book titles",
+                false,
+            ),
             "is_book_title",
         )],
         "httpstatus" => vec![base(
-            snippets::pool_validator("is_http_status", pools::HTTP_STATUS, "look up HTTP status codes", false),
+            snippets::pool_validator(
+                "is_http_status",
+                pools::HTTP_STATUS,
+                "look up HTTP status codes",
+                false,
+            ),
             "is_http_status",
         )],
         _ => Vec::new(),

@@ -54,10 +54,23 @@ def {func}(s):
 pub fn pool_validator(func: &str, pool: &[&str], comment: &str, case_insensitive: bool) -> String {
     let entries = pool
         .iter()
-        .map(|p| format!("'{}'", if case_insensitive { p.to_lowercase() } else { p.to_string() }))
+        .map(|p| {
+            format!(
+                "'{}'",
+                if case_insensitive {
+                    p.to_lowercase()
+                } else {
+                    p.to_string()
+                }
+            )
+        })
         .collect::<Vec<_>>()
         .join(", ");
-    let lookup = if case_insensitive { "s.strip().lower()" } else { "s.strip()" };
+    let lookup = if case_insensitive {
+        "s.strip().lower()"
+    } else {
+        "s.strip()"
+    };
     format!(
         "# {comment}\nKNOWN = [{entries}]\n\ndef {func}(s):\n    key = {lookup}\n    if key in KNOWN:\n        return True\n    return False\n"
     )

@@ -43,7 +43,10 @@ pub fn wrap_class_ctor(module_src: &str, inner: &str, class: &str) -> String {
 
 /// Appendix D.1 script form: a hard-coded constant the analyzer rewrites.
 pub fn wrap_script(module_src: &str, inner: &str, example: &str) -> String {
-    let escaped = example.replace('\\', "\\\\").replace('\'', "\\'").replace('\n', "\\n");
+    let escaped = example
+        .replace('\\', "\\\\")
+        .replace('\'', "\\'")
+        .replace('\n', "\\n");
     format!("{module_src}\n\nsample_value = '{escaped}'\nresult = {inner}(sample_value)\n")
 }
 

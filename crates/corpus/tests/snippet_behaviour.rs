@@ -38,7 +38,10 @@ fn every_good_primary_snippet_accepts_positives_and_rejects_garbage() {
     let mut rng = StdRng::seed_from_u64(99);
     let mut checked_types = 0;
 
-    for ty in registry().iter().filter(|t| t.coverage == Coverage::Covered) {
+    for ty in registry()
+        .iter()
+        .filter(|t| t.coverage == Coverage::Covered)
+    {
         // Find the type's first Good-quality snippet file.
         let Some((repo, file)) = corpus.repositories.iter().find_map(|r| {
             r.files
@@ -221,11 +224,7 @@ fn wrapped_variants_execute_equivalently() {
                 let mut exec = Executor::new(program.clone(), &packages, FUEL);
                 for p in &positives {
                     let out = exec.run(&cand, p, &packages);
-                    assert!(
-                        accepts(&out),
-                        "{:?} rejected positive {p}",
-                        cand.entry
-                    );
+                    assert!(accepts(&out), "{:?} rejected positive {p}", cand.entry);
                 }
                 let out = exec.run(&cand, "not-a-card", &packages);
                 assert!(!accepts(&out), "{:?} accepted garbage", cand.entry);
@@ -233,5 +232,8 @@ fn wrapped_variants_execute_equivalently() {
             }
         }
     }
-    assert!(variants_seen >= 4, "only {variants_seen} variants exercised");
+    assert!(
+        variants_seen >= 4,
+        "only {variants_seen} variants exercised"
+    );
 }

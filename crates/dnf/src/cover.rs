@@ -303,11 +303,14 @@ fn greedy_select(
             let better = match &best {
                 None => true,
                 Some((bg, bn, bidx)) => {
-                    (gain, std::cmp::Reverse(negs), std::cmp::Reverse(conj.literals.len()))
-                        > (*bg, std::cmp::Reverse(*bn), {
-                            let blen = candidates[*bidx].0.literals.len();
-                            std::cmp::Reverse(blen)
-                        })
+                    (
+                        gain,
+                        std::cmp::Reverse(negs),
+                        std::cmp::Reverse(conj.literals.len()),
+                    ) > (*bg, std::cmp::Reverse(*bn), {
+                        let blen = candidates[*bidx].0.literals.len();
+                        std::cmp::Reverse(blen)
+                    })
                 }
             };
             if better {
@@ -344,7 +347,12 @@ mod tests {
     use super::*;
 
     /// Build a CoverInput from explicit example->literals traces.
-    fn input_from_traces(n_pos: usize, n_neg: usize, traces: &[&[usize]], n_lits: usize) -> CoverInput {
+    fn input_from_traces(
+        n_pos: usize,
+        n_neg: usize,
+        traces: &[&[usize]],
+        n_lits: usize,
+    ) -> CoverInput {
         let universe = n_pos + n_neg;
         assert_eq!(traces.len(), universe);
         let mut coverage = vec![BitSet::new(universe); n_lits];
@@ -392,12 +400,7 @@ mod tests {
     #[test]
     fn respects_negative_budget() {
         // One literal covers all positives but also all negatives.
-        let input = input_from_traces(
-            2,
-            4,
-            &[&[0], &[0], &[0], &[0], &[0], &[0]],
-            1,
-        );
+        let input = input_from_traces(2, 4, &[&[0], &[0], &[0], &[0], &[0], &[0]], 1);
         let params = CoverParams {
             theta: 0.0,
             ..CoverParams::default()
@@ -442,10 +445,7 @@ mod tests {
             ..CoverParams::default()
         };
         let cover = best_k_concise_cover(&input, &params).unwrap();
-        assert!(cover
-            .conjunctions
-            .iter()
-            .all(|c| c.literals.len() == 1));
+        assert!(cover.conjunctions.iter().all(|c| c.literals.len() == 1));
         // With k=1 the only clean literal is b16 (lit 2), covering all P.
         assert_eq!(cover.pos_covered, 3);
     }
@@ -484,13 +484,15 @@ mod tests {
     #[test]
     fn prefers_fewer_negatives_on_tie() {
         // lit 0: covers both P + 2 N; lit 1: covers both P + 1 N.
-        let input = input_from_traces(
-            2,
-            3,
-            &[&[0, 1], &[0, 1], &[0], &[0, 1], &[]],
-            2,
-        );
-        let cover = best_k_concise_cover(&input, &CoverParams { theta: 1.0, ..CoverParams::default() }).unwrap();
+        let input = input_from_traces(2, 3, &[&[0, 1], &[0, 1], &[0], &[0, 1], &[]], 2);
+        let cover = best_k_concise_cover(
+            &input,
+            &CoverParams {
+                theta: 1.0,
+                ..CoverParams::default()
+            },
+        )
+        .unwrap();
         assert_eq!(cover.conjunctions.len(), 1);
         // Best single candidate is the conjunction (0 ∧ 1) or lit 1 alone —
         // both cover P with only 1 negative.

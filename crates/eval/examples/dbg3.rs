@@ -5,16 +5,24 @@ use autotype_typesys::by_slug;
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
-    let engine = AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default());
+    let engine = AutoType::new(
+        build_corpus(&CorpusConfig::default()),
+        AutoTypeConfig::default(),
+    );
     let ty = by_slug("ipv4").unwrap();
     let mut ty_rng = StdRng::seed_from_u64(0x5EEDu64 ^ (ty.id as u64) << 7);
     let positives = ty.examples(&mut ty_rng, 20);
     let mut rng = StdRng::seed_from_u64(0x5EEDu64 ^ ty.id as u64);
-    let mut session = engine.session(ty.keyword(), &positives, NegativeMode::Hierarchy, &mut rng).unwrap();
+    let mut session = engine
+        .session(ty.keyword(), &positives, NegativeMode::Hierarchy, &mut rng)
+        .unwrap();
     println!("strategy {:?}", session.strategy);
     let ranked = session.rank(Method::DnfS);
     for f in ranked.iter().take(6) {
-        println!("{} score {:.3} neg {:.3} intent {:?}", f.label, f.score, f.neg_fraction, f.intent);
+        println!(
+            "{} score {:.3} neg {:.3} intent {:?}",
+            f.label, f.score, f.neg_fraction, f.intent
+        );
     }
     let top = ranked[0].clone();
     for v in ["54.30", "7.74.0.0", "192.168.0.1", "1.2.3", "version 2"] {

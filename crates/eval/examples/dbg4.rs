@@ -6,23 +6,46 @@ use autotype_typesys::by_slug;
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
-    let engine = AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default());
+    let engine = AutoType::new(
+        build_corpus(&CorpusConfig::default()),
+        AutoTypeConfig::default(),
+    );
     let ty = by_slug("ipv4").unwrap();
     let mut ty_rng = StdRng::seed_from_u64(0x5EEDu64 ^ (ty.id as u64) << 7);
     let positives = ty.examples(&mut ty_rng, 20);
     let mut rng = StdRng::seed_from_u64(0x5EEDu64 ^ ty.id as u64);
-    let mut session = engine.session(ty.keyword(), &positives, NegativeMode::Hierarchy, &mut rng).unwrap();
+    let mut session = engine
+        .session(ty.keyword(), &positives, NegativeMode::Hierarchy, &mut rng)
+        .unwrap();
     let top = session.rank(Method::DnfS)[0].clone();
     let mut crng = StdRng::seed_from_u64(0x5EEDu64 ^ 0x7AB1E);
-    let columns = generate_columns(&TableConfig { scale: 0.3, untyped: 2000, ..Default::default() }, &mut crng);
+    let columns = generate_columns(
+        &TableConfig {
+            scale: 0.3,
+            untyped: 2000,
+            ..Default::default()
+        },
+        &mut crng,
+    );
     let mut fp = 0;
     for c in &columns {
-        if c.truth == Some("ipv4") { continue; }
-        let acc = c.values.iter().filter(|v| session.validate(&top, v)).count();
+        if c.truth == Some("ipv4") {
+            continue;
+        }
+        let acc = c
+            .values
+            .iter()
+            .filter(|v| session.validate(&top, v))
+            .count();
         if acc as f64 / c.values.len() as f64 > VALUE_THRESHOLD {
             fp += 1;
             if fp <= 5 {
-                println!("FP header {:?} truth {:?} values {:?}", c.header, c.truth, &c.values[..4.min(c.values.len())]);
+                println!(
+                    "FP header {:?} truth {:?} values {:?}",
+                    c.header,
+                    c.truth,
+                    &c.values[..4.min(c.values.len())]
+                );
             }
         }
     }

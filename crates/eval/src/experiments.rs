@@ -91,9 +91,14 @@ pub fn fig8(engine: &AutoType, types: &[&SemanticType], cfg: &EvalConfig) -> Vec
     for ty in types {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ (ty.id as u64) << 1);
         let positives = ty.examples(&mut rng, cfg.n_pos);
-        let Some(mut session) =
-            build_session(engine, ty, ty.keyword(), &positives, NegativeMode::Hierarchy, cfg.seed)
-        else {
+        let Some(mut session) = build_session(
+            engine,
+            ty,
+            ty.keyword(),
+            &positives,
+            NegativeMode::Hierarchy,
+            cfg.seed,
+        ) else {
             continue;
         };
         let holdout = Holdout::build(ty, cfg.n_test_pos, cfg.n_test_neg, &pool_values, &mut rng);
@@ -117,10 +122,7 @@ pub fn fig8(engine: &AutoType, types: &[&SemanticType], cfg: &EvalConfig) -> Vec
         }
         pool_total += pooled.len();
         for (mi, found) in per_method_found.iter().enumerate() {
-            per_method_relevant_found[mi] += found
-                .iter()
-                .filter(|l| pooled.contains(*l))
-                .count();
+            per_method_relevant_found[mi] += found.iter().filter(|l| pooled.contains(*l)).count();
         }
     }
 
@@ -220,9 +222,14 @@ pub fn sensitivity_examples(
                 }
             }
         }
-        let Some(mut session) =
-            build_session(engine, ty, ty.keyword(), &positives, NegativeMode::Hierarchy, cfg.seed)
-        else {
+        let Some(mut session) = build_session(
+            engine,
+            ty,
+            ty.keyword(),
+            &positives,
+            NegativeMode::Hierarchy,
+            cfg.seed,
+        ) else {
             for xs in per_k.iter_mut() {
                 xs.push(0.0);
             }
@@ -429,7 +436,12 @@ pub struct Table2Output {
 /// Table 2 / Figure 11: column-type detection over the synthetic web-table
 /// corpus, comparing the synthesized DNF-S functions, header keywords, and
 /// inferred REGEX patterns.
-pub fn table2(engine: &AutoType, cfg: &EvalConfig, table_scale: f64, untyped: usize) -> Vec<Table2Row> {
+pub fn table2(
+    engine: &AutoType,
+    cfg: &EvalConfig,
+    table_scale: f64,
+    untyped: usize,
+) -> Vec<Table2Row> {
     table2_full(engine, cfg, table_scale, untyped).rows
 }
 
@@ -493,9 +505,7 @@ pub fn table2_full(
     let t = std::time::Instant::now();
     let handles: Vec<(&'static str, BatchValidator<'_>)> = sessions
         .iter()
-        .filter_map(|(slug, session, top)| {
-            session.batch_validator(top).map(|bv| (*slug, bv))
-        })
+        .filter_map(|(slug, session, top)| session.batch_validator(top).map(|bv| (*slug, bv)))
         .collect();
     let detectors: Vec<SyncValueDetector<'_>> = handles
         .iter()
@@ -598,7 +608,10 @@ pub fn table3(engine: &AutoType, cfg: &EvalConfig) -> Vec<(&'static str, Vec<Str
 /// Returns the benchmark types filtered to a coverage class, or a named
 /// subset by slug (test convenience).
 pub fn types_by_coverage(coverage: Coverage) -> Vec<&'static SemanticType> {
-    registry().iter().filter(|t| t.coverage == coverage).collect()
+    registry()
+        .iter()
+        .filter(|t| t.coverage == coverage)
+        .collect()
 }
 
 pub fn types_by_slugs(slugs: &[&str]) -> Vec<&'static SemanticType> {
@@ -643,7 +656,8 @@ pub fn pipeline_timings(engine: &AutoType, slug: &str, cfg: &EvalConfig) -> Opti
     }
 
     let t = std::time::Instant::now();
-    let mut session = engine.session(ty.keyword(), &positives, NegativeMode::Hierarchy, &mut rng)?;
+    let mut session =
+        engine.session(ty.keyword(), &positives, NegativeMode::Hierarchy, &mut rng)?;
     let trace_ms = ms(t);
 
     let t = std::time::Instant::now();

@@ -27,7 +27,10 @@ mod tests {
     use autotype_rank::Method;
 
     fn engine() -> AutoType {
-        AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default())
+        AutoType::new(
+            build_corpus(&CorpusConfig::default()),
+            AutoTypeConfig::default(),
+        )
     }
 
     fn small_cfg() -> EvalConfig {
@@ -42,13 +45,7 @@ mod tests {
         let engine = engine();
         let types = types_by_slugs(&["creditcard", "isbn", "ipv4", "email", "issn", "vin"]);
         let results = fig8(&engine, &types, &small_cfg());
-        let p1 = |m: Method| {
-            results
-                .iter()
-                .find(|r| r.method == m)
-                .unwrap()
-                .precision_at[0]
-        };
+        let p1 = |m: Method| results.iter().find(|r| r.method == m).unwrap().precision_at[0];
         // DNF-S strong at top-1; KW clearly worse (Figure 8a shape).
         assert!(p1(Method::DnfS) >= 0.8, "DNF-S p@1 = {}", p1(Method::DnfS));
         assert!(
@@ -80,14 +77,13 @@ mod tests {
         let engine = engine();
         let types = types_by_slugs(&["creditcard", "isbn"]);
         let results = fig10c(&engine, &types, &small_cfg());
-        let p1 = |label: &str| {
-            results
-                .iter()
-                .find(|(l, _)| *l == label)
-                .unwrap()
-                .1[0]
-        };
-        assert!(p1("orig") > p1("only_random_neg"), "orig {} vs random {}", p1("orig"), p1("only_random_neg"));
+        let p1 = |label: &str| results.iter().find(|(l, _)| *l == label).unwrap().1[0];
+        assert!(
+            p1("orig") > p1("only_random_neg"),
+            "orig {} vs random {}",
+            p1("orig"),
+            p1("only_random_neg")
+        );
         assert!(p1("orig") > p1("no_neg"));
     }
 
@@ -120,9 +116,6 @@ mod tests {
             .iter()
             .find(|(name, _)| *name == "credit card number")
             .unwrap();
-        assert!(
-            !cc.1.is_empty(),
-            "credit card should yield transformations"
-        );
+        assert!(!cc.1.is_empty(), "credit card should yield transformations");
     }
 }

@@ -142,12 +142,7 @@ fn classify_function(func: &FuncDef, is_method: bool) -> Option<EntryPoint> {
     }
 }
 
-fn analyze_class(
-    file: u32,
-    class: &ClassDef,
-    out: &mut Vec<Candidate>,
-    stats: &mut AnalysisStats,
-) {
+fn analyze_class(file: u32, class: &ClassDef, out: &mut Vec<Candidate>, stats: &mut AnalysisStats) {
     let init = class.methods.iter().find(|m| m.name == "__init__");
     let ctor_params = init.map(|m| m.params.len().saturating_sub(1)).unwrap_or(0);
     for method in &class.methods {
@@ -217,17 +212,13 @@ fn any_expr(body: &[Stmt], pred: &mut impl FnMut(&Expr) -> bool) -> bool {
         match e {
             Expr::Bin { left, right, .. }
             | Expr::Cmp { left, right, .. }
-            | Expr::BoolOp { left, right, .. } => {
-                walk_expr(left, pred) || walk_expr(right, pred)
-            }
+            | Expr::BoolOp { left, right, .. } => walk_expr(left, pred) || walk_expr(right, pred),
             Expr::Not(inner) | Expr::Neg(inner, _) => walk_expr(inner, pred),
             Expr::Call { callee, args, .. } => {
                 walk_expr(callee, pred) || args.iter().any(|a| walk_expr(a, pred))
             }
             Expr::Attr { object, .. } => walk_expr(object, pred),
-            Expr::Index { object, index, .. } => {
-                walk_expr(object, pred) || walk_expr(index, pred)
-            }
+            Expr::Index { object, index, .. } => walk_expr(object, pred) || walk_expr(index, pred),
             Expr::Slice {
                 object, low, high, ..
             } => {
@@ -264,9 +255,7 @@ fn any_expr(body: &[Stmt], pred: &mut impl FnMut(&Expr) -> bool) -> bool {
                 walk_expr(iter, pred) || body.iter().any(|s| walk_stmt(s, pred))
             }
             Stmt::Return { value, .. } => value.as_ref().is_some_and(|v| walk_expr(v, pred)),
-            Stmt::Raise { message, .. } => {
-                message.as_ref().is_some_and(|m| walk_expr(m, pred))
-            }
+            Stmt::Raise { message, .. } => message.as_ref().is_some_and(|m| walk_expr(m, pred)),
             Stmt::Try { body, handlers, .. } => {
                 body.iter().any(|s| walk_stmt(s, pred))
                     || handlers

@@ -23,7 +23,12 @@ impl std::fmt::Display for Literal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Literal::Branch { site, taken } => {
-                write!(f, "b{}=={}", site.line, if *taken { "True" } else { "False" })
+                write!(
+                    f,
+                    "b{}=={}",
+                    site.line,
+                    if *taken { "True" } else { "False" }
+                )
             }
             Literal::Ret { site, value } => {
                 let rendered = match value {

@@ -33,6 +33,21 @@ impl PackageIndex {
     pub fn get(&self, name: &str) -> Option<&str> {
         self.packages.get(name).map(|s| s.as_str())
     }
+
+    /// Iterate over `(name, source)` pairs in name order — the serializable
+    /// view a detector pack snapshots so dynamic installs replay identically
+    /// at load time.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.packages.iter().map(|(n, s)| (n.as_str(), s.as_str()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
 }
 
 /// Result of one traced run of a candidate on one input.
@@ -110,6 +125,23 @@ impl Executor {
         }
     }
 
+    /// Rehydrate an executor from a serialized snapshot **without**
+    /// re-running static dependency resolution.
+    ///
+    /// `Executor::new` installs statically-visible imports up front, which
+    /// can append files to the program; a deserialized detector pack must
+    /// instead reproduce the exact file list (and therefore every file id
+    /// inside every trace `SiteId`) that existed when the pack was written.
+    /// The snapshot is that post-resolution file list, so re-resolving here
+    /// would at best be a no-op and at worst shift file ids.
+    pub fn from_snapshot(program: Program, fuel: u64, installs: usize) -> Executor {
+        Executor {
+            program,
+            fuel,
+            installs,
+        }
+    }
+
     pub fn program(&self) -> &Program {
         &self.program
     }
@@ -134,7 +166,12 @@ impl Executor {
     /// Run a candidate on one input string, tracing the execution. Applies
     /// the dynamic install loop when an `ImportError` names a package that
     /// exists in the index.
-    pub fn run(&mut self, candidate: &Candidate, input: &str, packages: &PackageIndex) -> RunOutcome {
+    pub fn run(
+        &mut self,
+        candidate: &Candidate,
+        input: &str,
+        packages: &PackageIndex,
+    ) -> RunOutcome {
         for round in 0..MAX_INSTALL_ROUNDS {
             let outcome = self.run_once(candidate, input, round);
             if let Err(e) = &outcome.result {
@@ -198,9 +235,7 @@ impl Executor {
                 .get_global(file, class)
                 .and_then(|c| interp.call(c, vec![Value::str(input)]))
                 .and_then(|obj| interp.invoke_method(obj, method, vec![])),
-            EntryPoint::ScriptConstant { .. } => {
-                interp.run_script(file).map(|_| Value::None)
-            }
+            EntryPoint::ScriptConstant { .. } => interp.run_script(file).map(|_| Value::None),
         };
 
         let mut harvest = Vec::new();
@@ -235,6 +270,40 @@ impl Executor {
             harvest,
         }
     }
+}
+
+/// Run a candidate on one input and return the featurized trace augmented
+/// with the synthetic black-box literal — a `Ret` at the reserved site
+/// `(u32::MAX, 0)` summarizing the top-level result, or an `Exception` when
+/// the run failed — plus the fuel the run burned.
+///
+/// This is the exact trace shape `SynthesizedValidator` clauses are written
+/// against (validators synthesized from the RET baseline's black-box view
+/// need the synthetic literal to evaluate correctly), shared by the
+/// session's validate path, the batched column-detection path, and the
+/// pack-based serving runtime so the three can never drift.
+pub fn probe_trace(
+    exec: &mut Executor,
+    candidate: &Candidate,
+    input: &str,
+    packages: &PackageIndex,
+) -> (std::collections::BTreeSet<crate::Literal>, u64) {
+    let outcome = exec.run(candidate, input, packages);
+    let mut trace = crate::featurize(&outcome.trace);
+    match &outcome.result {
+        Ok(value) => {
+            trace.insert(crate::Literal::Ret {
+                site: autotype_lang::SiteId::new(u32::MAX, 0),
+                value: autotype_lang::ValueSummary::of(value),
+            });
+        }
+        Err(e) => {
+            trace.insert(crate::Literal::Exception {
+                kind: e.kind.clone(),
+            });
+        }
+    }
+    (trace, outcome.fuel_used)
 }
 
 /// Harvest atomic values (and one level of composite decomposition) from a
@@ -388,13 +457,17 @@ mod tests {
 
     #[test]
     fn runs_plain_function_candidate() {
-        let program = program_with("def f(s):\n    if len(s) > 3:\n        return True\n    return False\n");
+        let program =
+            program_with("def f(s):\n    if len(s) > 3:\n        return True\n    return False\n");
         let cand = first_candidate(&program);
         let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
         let out = exec.run(&cand, "abcdef", &PackageIndex::new());
         assert!(out.completed());
         assert!(!out.trace.events.is_empty());
-        assert_eq!(out.harvest, vec![("return".to_string(), "True".to_string())]);
+        assert_eq!(
+            out.harvest,
+            vec![("return".to_string(), "True".to_string())]
+        );
     }
 
     #[test]
@@ -460,10 +533,7 @@ class Card:
         let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
         let out = exec.run(&cand, "12345", &PackageIndex::new());
         assert!(out.completed());
-        assert!(out
-            .harvest
-            .iter()
-            .any(|(k, v)| k == "result" && v == "5"));
+        assert!(out.harvest.iter().any(|(k, v)| k == "result" && v == "5"));
     }
 
     #[test]
@@ -555,7 +625,9 @@ def f(s):
     #[test]
     fn rewriting_shares_unrelated_files() {
         let mut program = program_with("card = '4111111111111111'\nresult = len(card)\n");
-        program.add_file("other", "def g():\n    return 1\n").unwrap();
+        program
+            .add_file("other", "def g():\n    return 1\n")
+            .unwrap();
         let rewritten = rewrite_script_constant(&program, 0, "card", "12345");
         // Only the rewritten file's AST is copied.
         assert!(!Arc::ptr_eq(&program.files[0], &rewritten.files[0]));
@@ -564,11 +636,15 @@ def f(s):
 
     #[test]
     fn fuel_used_is_reported() {
-        let program = program_with("def f(s):\n    total = 0\n    for c in s:\n        total += 1\n    return total\n");
+        let program = program_with(
+            "def f(s):\n    total = 0\n    for c in s:\n        total += 1\n    return total\n",
+        );
         let cand = first_candidate(&program);
         let mut exec = Executor::new(program, &PackageIndex::new(), FUEL);
         let short = exec.run(&cand, "ab", &PackageIndex::new()).fuel_used;
-        let long = exec.run(&cand, "abcdefghijklmnop", &PackageIndex::new()).fuel_used;
+        let long = exec
+            .run(&cand, "abcdefghijklmnop", &PackageIndex::new())
+            .fuel_used;
         assert!(long > short);
     }
 }

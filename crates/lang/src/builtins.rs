@@ -72,18 +72,14 @@ pub fn call(
                 Value::Int(i) => Ok(Value::Float(*i as f64)),
                 Value::Float(f) => Ok(Value::Float(*f)),
                 Value::Bool(b) => Ok(Value::Float(*b as i64 as f64)),
-                Value::Str(s) => s
-                    .trim()
-                    .parse::<f64>()
-                    .map(Value::Float)
-                    .map_err(|_| {
-                        PyError::value_error(
-                            format!("could not convert string to float: {s}"),
-                            line,
-                        )
-                    }),
+                Value::Str(s) => s.trim().parse::<f64>().map(Value::Float).map_err(|_| {
+                    PyError::value_error(format!("could not convert string to float: {s}"), line)
+                }),
                 other => Err(PyError::type_error(
-                    format!("float() argument must be a string or number, not '{}'", other.type_name()),
+                    format!(
+                        "float() argument must be a string or number, not '{}'",
+                        other.type_name()
+                    ),
                     line,
                 )),
             }
@@ -98,21 +94,19 @@ pub fn call(
                 Value::Str(s) if s.chars().count() == 1 => {
                     Ok(Value::Int(s.chars().next().unwrap() as i64))
                 }
-                _ => Err(PyError::type_error(
-                    "ord() expected a character",
-                    line,
-                )),
+                _ => Err(PyError::type_error("ord() expected a character", line)),
             }
         }
         "chr" => {
             let [v] = expect_args::<1>(name, args, line)?;
             match &v {
-                Value::Int(i) if (0..=0x10FFFF).contains(i) => {
-                    match char::from_u32(*i as u32) {
-                        Some(c) => Ok(Value::str(c.to_string())),
-                        None => Err(PyError::value_error("chr() arg not a valid codepoint", line)),
-                    }
-                }
+                Value::Int(i) if (0..=0x10FFFF).contains(i) => match char::from_u32(*i as u32) {
+                    Some(c) => Ok(Value::str(c.to_string())),
+                    None => Err(PyError::value_error(
+                        "chr() arg not a valid codepoint",
+                        line,
+                    )),
+                },
                 _ => Err(PyError::type_error("chr() expected an integer", line)),
             }
         }
@@ -142,7 +136,10 @@ pub fn call(
                 args
             };
             if items.is_empty() {
-                return Err(PyError::value_error(format!("{name}() of empty sequence"), line));
+                return Err(PyError::value_error(
+                    format!("{name}() of empty sequence"),
+                    line,
+                ));
             }
             let mut best = items[0].clone();
             for item in &items[1..] {
@@ -256,7 +253,10 @@ pub fn call(
                     let mut chars: Vec<char> = s.chars().collect();
                     chars.sort_unstable();
                     Ok(Value::list(
-                        chars.into_iter().map(|c| Value::str(c.to_string())).collect(),
+                        chars
+                            .into_iter()
+                            .map(|c| Value::str(c.to_string()))
+                            .collect(),
                     ))
                 }
                 other => Err(PyError::type_error(
@@ -366,7 +366,9 @@ fn str_method(s: &str, name: &str, args: &[Value], line: u32) -> Result<Value, P
         "isdigit" => Ok(Value::Bool(
             !s.is_empty() && s.chars().all(|c| c.is_ascii_digit()),
         )),
-        "isalpha" => Ok(Value::Bool(!s.is_empty() && s.chars().all(|c| c.is_alphabetic()))),
+        "isalpha" => Ok(Value::Bool(
+            !s.is_empty() && s.chars().all(|c| c.is_alphabetic()),
+        )),
         "isalnum" => Ok(Value::Bool(
             !s.is_empty() && s.chars().all(|c| c.is_alphanumeric()),
         )),
@@ -376,7 +378,9 @@ fn str_method(s: &str, name: &str, args: &[Value], line: u32) -> Result<Value, P
         "islower" => Ok(Value::Bool(
             s.chars().any(|c| c.is_lowercase()) && !s.chars().any(|c| c.is_uppercase()),
         )),
-        "isspace" => Ok(Value::Bool(!s.is_empty() && s.chars().all(|c| c.is_whitespace()))),
+        "isspace" => Ok(Value::Bool(
+            !s.is_empty() && s.chars().all(|c| c.is_whitespace()),
+        )),
         "find" => {
             let needle = arg_str(0)?;
             Ok(Value::Int(match s.find(needle) {
@@ -548,7 +552,10 @@ fn dict_method(
             Ok(dict.borrow().get(&key).cloned().unwrap_or(default))
         }
         "keys" => Ok(Value::list(
-            dict.borrow().keys().map(|k| Value::str(k.clone())).collect(),
+            dict.borrow()
+                .keys()
+                .map(|k| Value::str(k.clone()))
+                .collect(),
         )),
         "values" => Ok(Value::list(dict.borrow().values().cloned().collect())),
         "items" => Ok(Value::list(
@@ -602,7 +609,10 @@ fn expect_args<const N: usize>(
 ) -> Result<[Value; N], PyError> {
     let count = args.len();
     args.try_into().map_err(|_| {
-        PyError::type_error(format!("{name}() takes {N} arguments ({count} given)"), line)
+        PyError::type_error(
+            format!("{name}() takes {N} arguments ({count} given)"),
+            line,
+        )
     })
 }
 
@@ -728,7 +738,9 @@ mod tests {
         let src = format!("def f(s):\n    return {expr}\n");
         program.add_file("m", &src).unwrap();
         let mut interp = Interp::new(&program);
-        interp.call_function(0, "f", vec![Value::str("input")]).unwrap()
+        interp
+            .call_function(0, "f", vec![Value::str("input")])
+            .unwrap()
     }
 
     fn eval_err(expr: &str) -> PyError {
@@ -871,7 +883,10 @@ mod tests {
     fn open_reads_virtual_file() {
         let mut program = Program::new();
         program
-            .add_file("m", "def f(s):\n    fp = open('f.txt')\n    return fp.read()\n")
+            .add_file(
+                "m",
+                "def f(s):\n    fp = open('f.txt')\n    return fp.read()\n",
+            )
             .unwrap();
         let mut io = crate::interp::Io::default();
         io.files.insert("f.txt".to_string(), "contents".to_string());

@@ -58,11 +58,7 @@ impl PyError {
     }
 
     pub fn import_error(module: &str, line: u32) -> Self {
-        Self::new(
-            "ImportError",
-            format!("No module named {module}"),
-            line,
-        )
+        Self::new("ImportError", format!("No module named {module}"), line)
     }
 
     pub fn fuel_exhausted() -> Self {

@@ -367,7 +367,11 @@ impl<'p> Interp<'p> {
                 self.eval(e, env)?;
                 Ok(Flow::Normal)
             }
-            Stmt::Assign { target, value, line } => {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => {
                 let v = self.eval(value, env)?;
                 self.assign(target, v, env, *line)?;
                 Ok(Flow::Normal)
@@ -454,27 +458,25 @@ impl<'p> Interp<'p> {
                 };
                 Err(PyError::new(kind.clone(), msg, *line))
             }
-            Stmt::Try { body, handlers, .. } => {
-                match self.exec_block(body, env) {
-                    Ok(flow) => Ok(flow),
-                    Err(e) if e.catchable() => {
-                        for handler in handlers {
-                            let matches = match &handler.kind {
-                                None => true,
-                                Some(k) => k == &e.kind || k == "Exception",
-                            };
-                            if matches {
-                                if let Some(bind) = &handler.bind {
-                                    env.set(bind, Value::str(e.message.clone()));
-                                }
-                                return self.exec_block(&handler.body, env);
+            Stmt::Try { body, handlers, .. } => match self.exec_block(body, env) {
+                Ok(flow) => Ok(flow),
+                Err(e) if e.catchable() => {
+                    for handler in handlers {
+                        let matches = match &handler.kind {
+                            None => true,
+                            Some(k) => k == &e.kind || k == "Exception",
+                        };
+                        if matches {
+                            if let Some(bind) = &handler.bind {
+                                env.set(bind, Value::str(e.message.clone()));
                             }
+                            return self.exec_block(&handler.body, env);
                         }
-                        Err(e)
                     }
-                    Err(e) => Err(e),
+                    Err(e)
                 }
-            }
+                Err(e) => Err(e),
+            },
             Stmt::FuncDef(f) => {
                 env.set(&f.name, Value::Func(Rc::new(f.clone()), env.file));
                 Ok(Flow::Normal)
@@ -587,11 +589,7 @@ impl<'p> Interp<'p> {
         match value {
             Value::Str(s) => Ok(s.chars().map(|c| Value::str(c.to_string())).collect()),
             Value::List(l) => Ok(l.borrow().clone()),
-            Value::Dict(d) => Ok(d
-                .borrow()
-                .keys()
-                .map(|k| Value::str(k.clone()))
-                .collect()),
+            Value::Dict(d) => Ok(d.borrow().keys().map(|k| Value::str(k.clone())).collect()),
             other => Err(PyError::type_error(
                 format!("'{}' object is not iterable", other.type_name()),
                 line,
@@ -654,7 +652,11 @@ impl<'p> Interp<'p> {
                 let r = self.eval(right, env)?;
                 self.cmpop(*op, l, r, *line)
             }
-            Expr::BoolOp { is_and, left, right } => {
+            Expr::BoolOp {
+                is_and,
+                left,
+                right,
+            } => {
                 let l = self.eval(left, env)?;
                 if *is_and {
                     if l.truthy() {
@@ -1082,22 +1084,23 @@ impl<'p> Interp<'p> {
                 Ok(Value::Bool(if op == In { contains } else { !contains }))
             }
             Lt | LtEq | Gt | GtEq => {
-                let ord = match (&l, &r) {
-                    (a, b) if is_numeric(a) && is_numeric(b) => to_f64(a)
-                        .partial_cmp(&to_f64(b))
-                        .ok_or_else(|| PyError::type_error("unorderable floats", line))?,
-                    (Value::Str(a), Value::Str(b)) => a.cmp(b),
-                    (a, b) => {
-                        return Err(PyError::type_error(
-                            format!(
-                                "unorderable types: '{}' and '{}'",
-                                a.type_name(),
-                                b.type_name()
-                            ),
-                            line,
-                        ))
-                    }
-                };
+                let ord =
+                    match (&l, &r) {
+                        (a, b) if is_numeric(a) && is_numeric(b) => to_f64(a)
+                            .partial_cmp(&to_f64(b))
+                            .ok_or_else(|| PyError::type_error("unorderable floats", line))?,
+                        (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                        (a, b) => {
+                            return Err(PyError::type_error(
+                                format!(
+                                    "unorderable types: '{}' and '{}'",
+                                    a.type_name(),
+                                    b.type_name()
+                                ),
+                                line,
+                            ))
+                        }
+                    };
                 let result = match op {
                     Lt => ord == std::cmp::Ordering::Less,
                     LtEq => ord != std::cmp::Ordering::Greater,
@@ -1184,9 +1187,7 @@ mod tests {
         let src = format!("def f(s):\n{}\n", indent(body));
         program.add_file("m", &src).unwrap();
         let mut interp = Interp::new(&program);
-        interp
-            .call_function(0, "f", vec![Value::str("x")])
-            .unwrap()
+        interp.call_function(0, "f", vec![Value::str("x")]).unwrap()
     }
 
     fn indent(body: &str) -> String {
@@ -1246,7 +1247,9 @@ def luhn(s):
         let mut program = Program::new();
         program.add_file("m", src).unwrap();
         let mut interp = Interp::new(&program);
-        interp.call_function(0, "f", vec![Value::str("abc")]).unwrap();
+        interp
+            .call_function(0, "f", vec![Value::str("abc")])
+            .unwrap();
         let trace = interp.reset_trace();
         assert!(trace.events.contains(&TraceEvent::Branch {
             site: SiteId::new(0, 2),
@@ -1283,7 +1286,9 @@ def f(s):
         let mut program = Program::new();
         program.add_file("m", src).unwrap();
         let mut interp = Interp::new(&program);
-        let v = interp.call_function(0, "f", vec![Value::str("zz")]).unwrap();
+        let v = interp
+            .call_function(0, "f", vec![Value::str("zz")])
+            .unwrap();
         assert!(v.py_eq(&Value::Int(-1)));
     }
 

@@ -377,10 +377,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            kinds("s = 'a\\nb'\n")[2],
-            Tok::Str("a\nb".into()),
-        );
+        assert_eq!(kinds("s = 'a\\nb'\n")[2], Tok::Str("a\nb".into()),);
         assert_eq!(kinds("s = \"hi\"\n")[2], Tok::Str("hi".into()));
     }
 

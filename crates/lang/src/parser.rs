@@ -714,11 +714,17 @@ mod tests {
     #[test]
     fn elif_has_its_own_line() {
         let m = parse_ok("if a:\n    x = 1\nelif b:\n    x = 2\n");
-        let Stmt::If { line, else_body, .. } = &m.body[0] else {
+        let Stmt::If {
+            line, else_body, ..
+        } = &m.body[0]
+        else {
             panic!()
         };
         assert_eq!(*line, 1);
-        let Stmt::If { line: elif_line, .. } = &else_body[0] else {
+        let Stmt::If {
+            line: elif_line, ..
+        } = &else_body[0]
+        else {
             panic!()
         };
         assert_eq!(*elif_line, 3);
@@ -785,13 +791,7 @@ mod tests {
     #[test]
     fn parses_aug_assign() {
         let m = parse_ok("total += d * 2\n");
-        assert!(matches!(
-            &m.body[0],
-            Stmt::AugAssign {
-                op: BinOp::Add,
-                ..
-            }
-        ));
+        assert!(matches!(&m.body[0], Stmt::AugAssign { op: BinOp::Add, .. }));
     }
 
     #[test]
@@ -819,13 +819,7 @@ mod tests {
             panic!()
         };
         assert_eq!(*op, BinOp::Add);
-        assert!(matches!(
-            **right,
-            Expr::Bin {
-                op: BinOp::Mul,
-                ..
-            }
-        ));
+        assert!(matches!(**right, Expr::Bin { op: BinOp::Mul, .. }));
     }
 
     #[test]

@@ -215,7 +215,10 @@ mod tests {
             ValueSummary::of(&Value::Bool(true)),
             ValueSummary::Bool(true)
         );
-        assert_eq!(ValueSummary::of(&Value::Int(0)), ValueSummary::NumZero(true));
+        assert_eq!(
+            ValueSummary::of(&Value::Int(0)),
+            ValueSummary::NumZero(true)
+        );
         assert_eq!(
             ValueSummary::of(&Value::Int(7)),
             ValueSummary::NumZero(false)

@@ -114,12 +114,8 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
-            (Value::Bool(a), Value::Int(b)) | (Value::Int(b), Value::Bool(a)) => {
-                (*a as i64) == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
+            (Value::Bool(a), Value::Int(b)) | (Value::Int(b), Value::Bool(a)) => (*a as i64) == *b,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::List(a), Value::List(b)) => {
                 let (a, b) = (a.borrow(), b.borrow());
@@ -127,9 +123,7 @@ impl Value {
             }
             (Value::Dict(a), Value::Dict(b)) => {
                 let (a, b) = (a.borrow(), b.borrow());
-                a.len() == b.len()
-                    && a.iter()
-                        .all(|(k, v)| b.get(k).is_some_and(|w| v.py_eq(w)))
+                a.len() == b.len() && a.iter().all(|(k, v)| b.get(k).is_some_and(|w| v.py_eq(w)))
             }
             _ => false,
         }

@@ -61,17 +61,20 @@ fn deep_nesting_is_bounded() {
 fn runaway_loops_are_killed_deterministically() {
     let mut program = Program::new();
     program
-        .add_file("m", "def f(s):\n    x = 0\n    while True:\n        x += 1\n    return x\n")
+        .add_file(
+            "m",
+            "def f(s):\n    x = 0\n    while True:\n        x += 1\n    return x\n",
+        )
         .unwrap();
     let mut a = Interp::with_options(&program, Default::default(), 50_000);
-    let ea = a
-        .call_function(0, "f", vec![Value::str("x")])
-        .unwrap_err();
+    let ea = a.call_function(0, "f", vec![Value::str("x")]).unwrap_err();
     let mut b = Interp::with_options(&program, Default::default(), 50_000);
-    let eb = b
-        .call_function(0, "f", vec![Value::str("x")])
-        .unwrap_err();
+    let eb = b.call_function(0, "f", vec![Value::str("x")]).unwrap_err();
     assert!(ea.is_timeout());
-    assert_eq!(a.fuel_used(), b.fuel_used(), "fuel death must be deterministic");
+    assert_eq!(
+        a.fuel_used(),
+        b.fuel_used(),
+        "fuel death must be deterministic"
+    );
     let _ = eb;
 }

@@ -233,7 +233,9 @@ pub fn random_negatives(count: usize, rng: &mut StdRng) -> Vec<String> {
     (0..count)
         .map(|_| {
             let len = rng.gen_range(3..20);
-            (0..len).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+            (0..len)
+                .map(|_| pool[rng.gen_range(0..pool.len())])
+                .collect()
         })
         .collect()
 }
@@ -295,7 +297,10 @@ mod tests {
         let mut saw_colon_mutation = false;
         for _ in 0..200 {
             let m = mutate(positives[0], Strategy::S2, &a, &cfg, &mut r);
-            assert!(m.chars().all(|c| a.all.contains(&c)), "S2 escaped alphabet: {m}");
+            assert!(
+                m.chars().all(|c| a.all.contains(&c)),
+                "S2 escaped alphabet: {m}"
+            );
             if m.matches(':').count() != 7 {
                 saw_colon_mutation = true;
             }
@@ -420,8 +425,18 @@ mod tests {
     fn generation_is_deterministic() {
         let positives = ["192.168.0.1", "8.8.8.8"];
         let cfg = MutationConfig::default();
-        let a = generate_negatives(&positives, Strategy::S2, &cfg, &mut StdRng::seed_from_u64(7));
-        let b = generate_negatives(&positives, Strategy::S2, &cfg, &mut StdRng::seed_from_u64(7));
+        let a = generate_negatives(
+            &positives,
+            Strategy::S2,
+            &cfg,
+            &mut StdRng::seed_from_u64(7),
+        );
+        let b = generate_negatives(
+            &positives,
+            Strategy::S2,
+            &cfg,
+            &mut StdRng::seed_from_u64(7),
+        );
         assert_eq!(a, b);
     }
 

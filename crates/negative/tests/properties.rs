@@ -1,9 +1,7 @@
 //! Property-based tests for the mutation-strategy hierarchy (§6,
 //! Proposition 1) over arbitrary positive-example sets.
 
-use autotype_negative::{
-    generate_negatives, is_punct, mutate, Alphabet, MutationConfig, Strategy,
-};
+use autotype_negative::{generate_negatives, is_punct, mutate, Alphabet, MutationConfig, Strategy};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

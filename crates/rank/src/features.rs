@@ -37,7 +37,12 @@ impl FunctionTraces {
                 coverage[universe[lit]].insert(e);
             }
         }
-        let mut literals: Vec<Literal> = vec![Literal::Exception { kind: String::new() }; universe.len()];
+        let mut literals: Vec<Literal> = vec![
+            Literal::Exception {
+                kind: String::new()
+            };
+            universe.len()
+        ];
         for (lit, idx) in universe {
             literals[idx] = lit.clone();
         }

@@ -71,8 +71,7 @@ pub fn lr_score(traces: &FunctionTraces, config: &LrConfig) -> f64 {
     };
     let (pos_train, pos_held) = split(&pos);
     let (neg_train, neg_held) = split(&neg);
-    if pos_train.is_empty() || neg_train.is_empty() || pos_held.is_empty() || neg_held.is_empty()
-    {
+    if pos_train.is_empty() || neg_train.is_empty() || pos_held.is_empty() || neg_held.is_empty() {
         return 0.5;
     }
 

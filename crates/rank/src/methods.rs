@@ -22,7 +22,13 @@ pub enum Method {
 }
 
 impl Method {
-    pub const ALL: [Method; 5] = [Method::DnfS, Method::DnfC, Method::Ret, Method::Kw, Method::Lr];
+    pub const ALL: [Method; 5] = [
+        Method::DnfS,
+        Method::DnfC,
+        Method::Ret,
+        Method::Kw,
+        Method::Lr,
+    ];
 
     pub fn name(&self) -> &'static str {
         match self {
@@ -112,10 +118,7 @@ pub fn rank(
                     fields: vec![(Field::Code, c.document.clone())],
                 })
                 .collect();
-            let index = Index::build(
-                &documents,
-                autotype_search::index::FieldWeights::uniform(),
-            );
+            let index = Index::build(&documents, autotype_search::index::FieldWeights::uniform());
             let hits = index.score(keyword, Scoring::TfIdf);
             let max = hits.first().map(|(_, s)| *s).unwrap_or(1.0).max(1e-9);
             hits.into_iter()
@@ -240,8 +243,18 @@ mod tests {
 
     #[test]
     fn ranking_is_deterministic() {
-        let a = rank(Method::DnfS, &candidates(), "credit card", &CoverParams::default());
-        let b = rank(Method::DnfS, &candidates(), "credit card", &CoverParams::default());
+        let a = rank(
+            Method::DnfS,
+            &candidates(),
+            "credit card",
+            &CoverParams::default(),
+        );
+        let b = rank(
+            Method::DnfS,
+            &candidates(),
+            "credit card",
+            &CoverParams::default(),
+        );
         assert_eq!(a.len(), b.len());
         assert_eq!(a[0].id, b[0].id);
     }

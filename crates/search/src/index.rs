@@ -92,7 +92,11 @@ impl Index {
     /// the result is bit-identical for every worker count (a 1-worker pool
     /// is the exact serial loop). Per-document term counts use a `BTreeMap`
     /// so the posting-map insertion sequence is canonical too.
-    pub fn build_with_pool(documents: &[Document], weights: FieldWeights, pool: &ExecPool) -> Index {
+    pub fn build_with_pool(
+        documents: &[Document],
+        weights: FieldWeights,
+        pool: &ExecPool,
+    ) -> Index {
         let n_docs = documents.len();
         let per_doc: Vec<(BTreeMap<String, f64>, f64)> =
             pool.run_ordered(documents.iter().collect(), |_, doc: &Document| {
@@ -161,8 +165,7 @@ impl Index {
                     const B: f64 = 0.75;
                     let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
                     for (doc, tf) in posting {
-                        let norm =
-                            K1 * (1.0 - B + B * self.doc_len[*doc] / self.avg_len.max(1.0));
+                        let norm = K1 * (1.0 - B + B * self.doc_len[*doc] / self.avg_len.max(1.0));
                         *scores.entry(*doc).or_default() += idf * (tf * (K1 + 1.0)) / (tf + norm);
                     }
                 }
@@ -195,7 +198,11 @@ mod tests {
     #[test]
     fn relevant_documents_rank_first() {
         let docs = vec![
-            doc(0, "credit-card-validator", "validate credit card numbers with luhn"),
+            doc(
+                0,
+                "credit-card-validator",
+                "validate credit card numbers with luhn",
+            ),
             doc(1, "ip-tools", "parse ip address ipv4 ipv6"),
             doc(2, "string-utils", "generic string helpers"),
         ];

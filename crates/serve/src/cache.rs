@@ -1,0 +1,187 @@
+//! Sharded LRU verdict cache.
+//!
+//! Verdicts are pure functions of `(pack, value)` — every probe clones the
+//! pack's snapshot executor, so a cached `bool` can never go stale while
+//! the pack set is fixed (the runtime is read-only; pack GC / hot-reload is
+//! a ROADMAP item). That purity is what makes caching *transparent*: a hit
+//! returns exactly what the probe would have computed.
+//!
+//! Layout: N independent shards, each a mutex around per-pack hash maps
+//! with access stamps. The shard index is a hash of `(pack, value)`, so
+//! contention spreads across shards instead of serializing on one lock.
+//! Eviction is exact LRU within a shard: every get/put advances a per-shard
+//! clock and restamps the entry; when a shard is full the minimum-stamp
+//! entry is evicted (an `O(shard entries)` scan — shards are small and
+//! eviction is off the common path).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+struct Entry {
+    verdict: bool,
+    stamp: u64,
+}
+
+struct Shard {
+    /// One map per pack, indexed by pack id — lets lookups borrow the
+    /// probe value as `&str` instead of allocating a composite key.
+    per_pack: Vec<HashMap<String, Entry>>,
+    clock: u64,
+    entries: usize,
+}
+
+impl Shard {
+    fn evict_lru(&mut self) {
+        let mut victim: Option<(usize, String, u64)> = None;
+        for (pi, map) in self.per_pack.iter().enumerate() {
+            for (value, entry) in map.iter() {
+                if victim
+                    .as_ref()
+                    .is_none_or(|(_, _, stamp)| entry.stamp < *stamp)
+                {
+                    victim = Some((pi, value.clone(), entry.stamp));
+                }
+            }
+        }
+        if let Some((pi, value, _)) = victim {
+            self.per_pack[pi].remove(&value);
+            self.entries -= 1;
+        }
+    }
+}
+
+/// A sharded, exact-LRU cache of `(pack, value) → verdict`.
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+}
+
+impl ShardedLru {
+    /// `shards` is rounded up to 1; `capacity` is the total entry budget,
+    /// split evenly across shards (each shard gets at least one slot).
+    pub fn new(shards: usize, capacity: usize, packs: usize) -> ShardedLru {
+        let shards = shards.max(1);
+        let capacity_per_shard = (capacity / shards).max(1);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        per_pack: (0..packs).map(|_| HashMap::new()).collect(),
+                        clock: 0,
+                        entries: 0,
+                    })
+                })
+                .collect(),
+            capacity_per_shard,
+        }
+    }
+
+    fn shard_of(&self, pack: usize, value: &str) -> &Mutex<Shard> {
+        // FNV-1a over the pack id then the value bytes.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in (pack as u64).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        for &b in value.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up a verdict, restamping the entry as most-recently-used.
+    pub fn get(&self, pack: usize, value: &str) -> Option<bool> {
+        let mut shard = self.shard_of(pack, value).lock().unwrap();
+        shard.clock += 1;
+        let stamp = shard.clock;
+        let entry = shard.per_pack[pack].get_mut(value)?;
+        entry.stamp = stamp;
+        Some(entry.verdict)
+    }
+
+    /// Insert (or refresh) a verdict, evicting the shard's LRU entry when
+    /// the shard is at capacity.
+    pub fn put(&self, pack: usize, value: &str, verdict: bool) {
+        let mut shard = self.shard_of(pack, value).lock().unwrap();
+        shard.clock += 1;
+        let stamp = shard.clock;
+        if let Some(entry) = shard.per_pack[pack].get_mut(value) {
+            entry.verdict = verdict;
+            entry.stamp = stamp;
+            return;
+        }
+        if shard.entries >= self.capacity_per_shard {
+            shard.evict_lru();
+        }
+        shard.per_pack[pack].insert(value.to_string(), Entry { verdict, stamp });
+        shard.entries += 1;
+    }
+
+    /// Total entries across all shards (metrics).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().entries).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_after_put_round_trips_per_pack() {
+        let cache = ShardedLru::new(4, 64, 2);
+        cache.put(0, "4111", true);
+        cache.put(1, "4111", false);
+        assert_eq!(cache.get(0, "4111"), Some(true));
+        assert_eq!(cache.get(1, "4111"), Some(false));
+        assert_eq!(cache.get(0, "other"), None);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recently_used() {
+        // One shard, capacity 2: inserting a third entry evicts the least
+        // recently touched one.
+        let cache = ShardedLru::new(1, 2, 1);
+        cache.put(0, "a", true);
+        cache.put(0, "b", true);
+        assert_eq!(cache.get(0, "a"), Some(true)); // refresh "a"
+        cache.put(0, "c", true);
+        assert_eq!(cache.get(0, "b"), None, "b was LRU and must be evicted");
+        assert_eq!(cache.get(0, "a"), Some(true));
+        assert_eq!(cache.get(0, "c"), Some(true));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn refresh_does_not_grow_the_cache() {
+        let cache = ShardedLru::new(1, 2, 1);
+        cache.put(0, "a", true);
+        cache.put(0, "a", false);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(0, "a"), Some(false));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(ShardedLru::new(8, 1024, 4));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..256 {
+                        let v = format!("v{}", i % 64);
+                        cache.put(t, &v, i % 2 == 0);
+                        cache.get(t, &v);
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 1024);
+    }
+}

@@ -1,0 +1,386 @@
+//! A deliberately small HTTP/1.1 server over `std::net`, thread-per-
+//! connection, `Connection: close` on every response.
+//!
+//! Routes:
+//!
+//! | method | path              | body                      | response |
+//! |--------|-------------------|---------------------------|----------|
+//! | POST   | `/detect`         | `{"value":"…"}` or `{"values":["…",…]}` | per-value verdicts |
+//! | POST   | `/detect/column`  | `{"values":["…",…]}`      | whole-column verdict |
+//! | GET    | `/healthz`        | —                         | liveness + pack count |
+//! | GET    | `/metrics`        | —                         | Prometheus text |
+//!
+//! Request limits (body size, value count, read timeout) are enforced
+//! before any detection work runs; violations produce 4xx responses with a
+//! JSON error body. Graceful shutdown: a stop flag, a self-connect to
+//! unblock `accept`, and a bounded wait for in-flight connections.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use crate::runtime::DetectorRuntime;
+
+/// Tunables for the listener; the defaults suit a local deployment.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Maximum request body size in bytes.
+    pub max_body: usize,
+    /// Maximum number of values in one batch/column request.
+    pub max_values: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7450".to_string(),
+            max_body: 1 << 20,
+            max_values: 10_000,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Handle to a running server; dropping it does NOT stop the server —
+/// call [`shutdown`](ServerHandle::shutdown).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the accept loop, and wait (bounded) for
+    /// in-flight connections to drain.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Connections already handed to worker threads get a grace period.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while self.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// Bind and start serving `runtime` in background threads; returns once
+/// the listener is bound (so `handle.addr()` is immediately usable).
+pub fn serve(runtime: Arc<DetectorRuntime>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+
+    let accept_stop = stop.clone();
+    let accept_active = active.clone();
+    let accept_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let runtime = runtime.clone();
+            let config = config.clone();
+            let active = accept_active.clone();
+            active.fetch_add(1, Ordering::SeqCst);
+            std::thread::spawn(move || {
+                handle_connection(stream, &runtime, &config);
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        active,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            format!("{{{}}}", json::str_field("error", Some(message))),
+        )
+    }
+
+    fn is_error(&self) -> bool {
+        self.status >= 400
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+fn handle_connection(stream: TcpStream, runtime: &DetectorRuntime, config: &ServerConfig) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match read_request(&mut reader, config) {
+        Ok((method, path, body)) => route(runtime, &method, &path, &body, config),
+        Err(resp) => resp,
+    };
+    if response.is_error() {
+        Metrics::bump(&runtime.metrics().http_errors);
+    }
+    Metrics::bump(&runtime.metrics().requests_total);
+    write_response(stream, &response);
+}
+
+/// Parse the request line, headers, and body. Errors come back as ready-
+/// made responses (408 on timeout, 413 over limit, 400 otherwise).
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    config: &ServerConfig,
+) -> Result<(String, String, String), Response> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Err(Response::error(400, "empty request")),
+        Ok(_) => {}
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            return Err(Response::error(408, "read timeout"))
+        }
+        Err(_) => return Err(Response::error(400, "unreadable request")),
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(Response::error(400, "malformed request line"));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return Err(Response::error(400, "truncated headers")),
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(Response::error(408, "read timeout"))
+            }
+            Err(_) => return Err(Response::error(400, "unreadable headers")),
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| Response::error(400, "bad content-length"))?;
+            }
+        }
+    }
+    if content_length > config.max_body {
+        return Err(Response::error(413, "request body too large"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut
+            {
+                Response::error(408, "read timeout")
+            } else {
+                Response::error(400, "truncated body")
+            }
+        })?;
+    }
+    let body = String::from_utf8(body).map_err(|_| Response::error(400, "body is not UTF-8"))?;
+    Ok((method, path, body))
+}
+
+fn route(
+    runtime: &DetectorRuntime,
+    method: &str,
+    path: &str,
+    body: &str,
+    config: &ServerConfig,
+) -> Response {
+    let m = runtime.metrics();
+    match (method, path) {
+        ("POST", "/detect") => {
+            Metrics::bump(&m.requests_detect);
+            detect_endpoint(runtime, body, config)
+        }
+        ("POST", "/detect/column") => {
+            Metrics::bump(&m.requests_detect_column);
+            detect_column_endpoint(runtime, body, config)
+        }
+        ("GET", "/healthz") => {
+            Metrics::bump(&m.requests_healthz);
+            Response::json(
+                200,
+                format!(
+                    "{{\"status\":\"ok\",\"packs\":{},\"workers\":{}}}",
+                    runtime.packs().len(),
+                    runtime.workers()
+                ),
+            )
+        }
+        ("GET", "/metrics") => {
+            Metrics::bump(&m.requests_metrics);
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: m.render(runtime.cache_entries()),
+            }
+        }
+        ("POST", "/healthz" | "/metrics") | ("GET", "/detect" | "/detect/column") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "unknown path"),
+    }
+}
+
+/// Pull the value list out of a request body: either `"value": "…"` (a
+/// batch of one) or `"values": ["…", …]`.
+fn parse_values(body: &str, config: &ServerConfig) -> Result<Vec<String>, Response> {
+    let parsed = json::parse(body).map_err(|e| Response::error(400, &format!("bad JSON: {e}")))?;
+    if let Some(v) = parsed.get("value") {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Response::error(400, "\"value\" must be a string"))?;
+        return Ok(vec![s.to_string()]);
+    }
+    let values = parsed
+        .get("values")
+        .and_then(Json::as_array)
+        .ok_or_else(|| Response::error(400, "expected \"value\" or \"values\""))?;
+    if values.len() > config.max_values {
+        return Err(Response::error(413, "too many values"));
+    }
+    values
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| Response::error(400, "\"values\" must be strings"))
+        })
+        .collect()
+}
+
+fn pack_fields(runtime: &DetectorRuntime, pack: Option<usize>) -> String {
+    match pack {
+        Some(pi) => {
+            let p = &runtime.packs()[pi];
+            format!(
+                "{},{}",
+                json::str_field("type", Some(p.slug())),
+                json::str_field("pack", Some(p.pack_id()))
+            )
+        }
+        None => format!(
+            "{},{}",
+            json::str_field("type", None),
+            json::str_field("pack", None)
+        ),
+    }
+}
+
+fn detect_endpoint(runtime: &DetectorRuntime, body: &str, config: &ServerConfig) -> Response {
+    let values = match parse_values(body, config) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let verdicts = runtime.detect_batch(&values);
+    let results: Vec<String> = values
+        .iter()
+        .zip(&verdicts)
+        .map(|(value, pack)| {
+            format!(
+                "{{{},{}}}",
+                json::str_field("value", Some(value)),
+                pack_fields(runtime, *pack)
+            )
+        })
+        .collect();
+    Response::json(200, format!("{{\"results\":[{}]}}", results.join(",")))
+}
+
+fn detect_column_endpoint(
+    runtime: &DetectorRuntime,
+    body: &str,
+    config: &ServerConfig,
+) -> Response {
+    let values = match parse_values(body, config) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let pack = runtime.detect_column(&values);
+    Response::json(
+        200,
+        format!(
+            "{{{},\"values\":{}}}",
+            pack_fields(runtime, pack),
+            values.len()
+        ),
+    )
+}
+
+fn write_response(mut stream: TcpStream, response: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
+    let _ = stream.flush();
+}

@@ -1,0 +1,41 @@
+//! # autotype-serve — the long-lived detection service
+//!
+//! Everything upstream of this crate is *synthesis*: mining open-source
+//! code, tracing candidate functions, learning DNF-E validators. This
+//! crate is the *deployment* half of that story — it never synthesizes.
+//! A [`DetectorRuntime`] loads a directory of compiled detector packs
+//! (`*.atpk`, written by `Session::save_pack`) at startup, rehydrates each
+//! into a [`autotype_pack::PackValidator`], and answers detection queries
+//! over HTTP:
+//!
+//! - `POST /detect` — single value or batch; per-value first-matching-pack
+//!   verdicts, bit-identical to the in-process evaluation driver.
+//! - `POST /detect/column` — whole-column detection with the paper's
+//!   `VALUE_THRESHOLD` semantics.
+//! - `GET /healthz` — liveness.
+//! - `GET /metrics` — Prometheus text: request counters, cache hit/miss,
+//!   fuel spent, per-pack probe latency histograms.
+//!
+//! Probes fan out across the same [`autotype_exec::ExecPool`] the
+//! synthesis pipeline uses; verdicts are memoized in a sharded LRU cache
+//! (sound because a verdict is a pure function of `(pack, value)`).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use autotype_serve::{serve, DetectorRuntime, ServerConfig};
+//!
+//! let rt = DetectorRuntime::load_dir("packs/".as_ref(), 4, 65_536).unwrap();
+//! let handle = serve(Arc::new(rt), ServerConfig::default()).unwrap();
+//! println!("listening on {}", handle.addr());
+//! ```
+
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod runtime;
+
+pub use cache::ShardedLru;
+pub use http::{serve, ServerConfig, ServerHandle};
+pub use metrics::{Histogram, Metrics, PackMetrics};
+pub use runtime::DetectorRuntime;

@@ -1,0 +1,160 @@
+//! `autotype-serve` binary: load a pack directory and serve detection.
+//!
+//! ```text
+//! autotype-serve PACK_DIR [--addr HOST:PORT] [--workers N] [--cache N] [--bootstrap]
+//! ```
+//!
+//! `--bootstrap` first synthesizes detectors for a few built-in types
+//! (credit card, IPv6, ISBN) from the bundled corpus and writes them into
+//! `PACK_DIR` as `00-creditcard.atpk`, `01-ipv6.atpk`, ... — a one-command
+//! demo of the full synthesize → pack → serve path. Without it, the
+//! directory must already contain packs and nothing is synthesized.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use autotype::{AutoType, AutoTypeConfig, NegativeMode};
+use autotype_corpus::{build_corpus, CorpusConfig};
+use autotype_rank::Method;
+use autotype_serve::{serve, DetectorRuntime, ServerConfig};
+use autotype_typesys::by_slug;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Types the `--bootstrap` demo synthesizes, in detection priority order.
+const BOOTSTRAP_SLUGS: [&str; 3] = ["creditcard", "ipv6", "isbn"];
+
+struct Args {
+    pack_dir: std::path::PathBuf,
+    addr: String,
+    workers: usize,
+    cache: usize,
+    bootstrap: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: autotype-serve PACK_DIR [--addr HOST:PORT] [--workers N] [--cache N] [--bootstrap]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        pack_dir: std::path::PathBuf::new(),
+        addr: "127.0.0.1:7450".to_string(),
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        cache: 65_536,
+        bootstrap: false,
+    };
+    let mut positional = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = it.next().ok_or_else(usage)?,
+            "--workers" => {
+                args.workers = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?
+            }
+            "--cache" => args.cache = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?,
+            "--bootstrap" => args.bootstrap = true,
+            "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            _ => return Err(usage()),
+        }
+    }
+    if positional.len() != 1 {
+        return Err(usage());
+    }
+    args.pack_dir = positional.remove(0).into();
+    Ok(args)
+}
+
+/// Synthesize detectors for [`BOOTSTRAP_SLUGS`] and write them to `dir`.
+fn bootstrap(dir: &std::path::Path, workers: usize) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    eprintln!("bootstrap: building corpus + search indexes ...");
+    let engine = AutoType::new(
+        build_corpus(&CorpusConfig::default()),
+        AutoTypeConfig {
+            workers,
+            ..AutoTypeConfig::default()
+        },
+    );
+    for (i, slug) in BOOTSTRAP_SLUGS.iter().enumerate() {
+        let ty = by_slug(slug).ok_or_else(|| format!("unknown type slug {slug}"))?;
+        let mut ex_rng = StdRng::seed_from_u64(0x5EEDu64 ^ ((ty.id as u64) << 7));
+        let positives = ty.examples(&mut ex_rng, 20);
+        let mut rng = StdRng::seed_from_u64(0x5EEDu64 ^ ty.id as u64);
+        eprintln!("bootstrap: synthesizing {slug} ...");
+        let mut session = engine
+            .session(ty.keyword(), &positives, NegativeMode::Hierarchy, &mut rng)
+            .ok_or_else(|| format!("{slug}: retrieval found no candidate functions"))?;
+        let ranked = session.rank(Method::DnfS);
+        let top = ranked
+            .first()
+            .cloned()
+            .ok_or_else(|| format!("{slug}: ranking produced no functions"))?;
+        let path = dir.join(format!("{i:02}-{slug}.atpk"));
+        let pack = session
+            .save_pack(&top, slug, Method::DnfS, &path)
+            .map_err(|e| format!("{slug}: save pack: {e}"))?;
+        eprintln!(
+            "bootstrap: wrote {} ({}, score {:.3})",
+            path.display(),
+            pack.pack_id(),
+            top.score
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    if args.bootstrap {
+        if let Err(e) = bootstrap(&args.pack_dir, args.workers) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let runtime = match DetectorRuntime::load_dir(&args.pack_dir, args.workers, args.cache) {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("error: loading packs from {}: {e}", args.pack_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if runtime.packs().is_empty() {
+        eprintln!(
+            "error: no *.atpk packs in {} (synthesize some with --bootstrap)",
+            args.pack_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    for (i, p) in runtime.packs().iter().enumerate() {
+        eprintln!("pack[{i}] {} — {}", p.pack_id(), p.label());
+    }
+    let config = ServerConfig {
+        addr: args.addr,
+        ..ServerConfig::default()
+    };
+    let handle = match serve(Arc::new(runtime), config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "autotype-serve listening on http://{} ({} workers)",
+        handle.addr(),
+        args.workers
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

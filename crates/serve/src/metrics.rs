@@ -1,0 +1,267 @@
+//! Live service metrics: lock-free atomic counters plus per-pack latency
+//! histograms, rendered in the Prometheus text exposition format at
+//! `GET /metrics`.
+//!
+//! Counters are monotone `AtomicU64`s updated with relaxed ordering — every
+//! update is a commutative increment, so totals are exact under any thread
+//! interleaving even though no two counters are read atomically together.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram bucket upper bounds, in microseconds. Probe latency spans
+/// cache hits (sub-microsecond) to full interpreter runs with dynamic
+/// installs (milliseconds), so the buckets are logarithmic.
+pub const LATENCY_BUCKETS_US: [u64; 8] = [10, 50, 100, 500, 1_000, 5_000, 20_000, 100_000];
+
+/// A fixed-bucket latency histogram (Prometheus `_bucket`/`_sum`/`_count`
+/// semantics: buckets are cumulative at render time, stored sparse here).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len()],
+    overflow: AtomicU64,
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    pub fn record_us(&self, us: u64) {
+        match LATENCY_BUCKETS_US.iter().position(|&b| us <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Render cumulative `_bucket` lines plus `_sum` and `_count`.
+    fn render(&self, out: &mut String, name: &str, labels: &str) {
+        let mut cumulative = 0u64;
+        for (i, bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "{name}_bucket{{{labels}le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.overflow.load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "{name}_bucket{{{labels}le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!("{name}_sum{{{labels}}} {}\n", self.sum_us()));
+        out.push_str(&format!("{name}_count{{{labels}}} {}\n", self.count()));
+    }
+}
+
+/// Per-pack observability.
+#[derive(Debug)]
+pub struct PackMetrics {
+    pub pack_id: String,
+    pub slug: String,
+    /// Uncached probes executed against this pack's validator.
+    pub probes: AtomicU64,
+    /// Probes that returned `true`.
+    pub accepts: AtomicU64,
+    /// Latency of uncached probes.
+    pub latency: Histogram,
+}
+
+impl PackMetrics {
+    pub fn new(pack_id: &str, slug: &str) -> PackMetrics {
+        PackMetrics {
+            pack_id: pack_id.to_string(),
+            slug: slug.to_string(),
+            probes: AtomicU64::new(0),
+            accepts: AtomicU64::new(0),
+            latency: Histogram::default(),
+        }
+    }
+}
+
+/// All counters the service exposes.
+#[derive(Debug)]
+pub struct Metrics {
+    pub requests_total: AtomicU64,
+    pub requests_detect: AtomicU64,
+    pub requests_detect_column: AtomicU64,
+    pub requests_healthz: AtomicU64,
+    pub requests_metrics: AtomicU64,
+    /// 4xx/5xx responses (bad JSON, over-limit bodies, unknown routes).
+    pub http_errors: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    /// Total interpreter fuel burned by uncached probes.
+    pub fuel_spent: AtomicU64,
+    /// Values the service answered (across batch and column requests).
+    pub values_served: AtomicU64,
+    pub per_pack: Vec<PackMetrics>,
+}
+
+impl Metrics {
+    pub fn new(packs: &[(String, String)]) -> Metrics {
+        Metrics {
+            requests_total: AtomicU64::new(0),
+            requests_detect: AtomicU64::new(0),
+            requests_detect_column: AtomicU64::new(0),
+            requests_healthz: AtomicU64::new(0),
+            requests_metrics: AtomicU64::new(0),
+            http_errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            fuel_spent: AtomicU64::new(0),
+            values_served: AtomicU64::new(0),
+            per_pack: packs
+                .iter()
+                .map(|(id, slug)| PackMetrics::new(id, slug))
+                .collect(),
+        }
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Cache hit rate over everything probed so far (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = Self::read(&self.cache_hits) as f64;
+        let total = hits + Self::read(&self.cache_misses) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
+    /// Prometheus text exposition.
+    pub fn render(&self, cache_entries: usize) -> String {
+        let mut out = String::with_capacity(2048);
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        gauge(
+            "autotype_requests_total",
+            "HTTP requests received",
+            Self::read(&self.requests_total),
+        );
+        gauge(
+            "autotype_requests_detect_total",
+            "POST /detect requests",
+            Self::read(&self.requests_detect),
+        );
+        gauge(
+            "autotype_requests_detect_column_total",
+            "POST /detect/column requests",
+            Self::read(&self.requests_detect_column),
+        );
+        gauge(
+            "autotype_requests_healthz_total",
+            "GET /healthz requests",
+            Self::read(&self.requests_healthz),
+        );
+        gauge(
+            "autotype_requests_metrics_total",
+            "GET /metrics requests",
+            Self::read(&self.requests_metrics),
+        );
+        gauge(
+            "autotype_http_errors_total",
+            "Error responses returned",
+            Self::read(&self.http_errors),
+        );
+        gauge(
+            "autotype_cache_hits_total",
+            "Verdict cache hits",
+            Self::read(&self.cache_hits),
+        );
+        gauge(
+            "autotype_cache_misses_total",
+            "Verdict cache misses",
+            Self::read(&self.cache_misses),
+        );
+        gauge(
+            "autotype_fuel_spent_total",
+            "Interpreter fuel burned by uncached probes",
+            Self::read(&self.fuel_spent),
+        );
+        gauge(
+            "autotype_values_served_total",
+            "Values answered across batch and column requests",
+            Self::read(&self.values_served),
+        );
+        gauge(
+            "autotype_cache_entries",
+            "Verdicts currently cached",
+            cache_entries as u64,
+        );
+        for pm in &self.per_pack {
+            let labels = format!("pack=\"{}\",slug=\"{}\",", pm.pack_id, pm.slug);
+            out.push_str(&format!(
+                "autotype_pack_probes_total{{pack=\"{}\",slug=\"{}\"}} {}\n",
+                pm.pack_id,
+                pm.slug,
+                Self::read(&pm.probes)
+            ));
+            out.push_str(&format!(
+                "autotype_pack_accepts_total{{pack=\"{}\",slug=\"{}\"}} {}\n",
+                pm.pack_id,
+                pm.slug,
+                Self::read(&pm.accepts)
+            ));
+            pm.latency
+                .render(&mut out, "autotype_pack_probe_latency_us", &labels);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_render() {
+        let h = Histogram::default();
+        h.record_us(5); // le=10
+        h.record_us(60); // le=100
+        h.record_us(1_000_000); // +Inf overflow
+        let mut out = String::new();
+        h.render(&mut out, "t", "");
+        assert!(out.contains("t_bucket{le=\"10\"} 1"), "{out}");
+        assert!(out.contains("t_bucket{le=\"100\"} 2"), "{out}");
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 3"), "{out}");
+        assert!(out.contains("t_count{} 3"), "{out}");
+        assert_eq!(h.sum_us(), 1_000_065);
+    }
+
+    #[test]
+    fn hit_rate_handles_idle_and_busy() {
+        let m = Metrics::new(&[("p-1".into(), "x".into())]);
+        assert_eq!(m.hit_rate(), 0.0);
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        assert!((m.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_includes_per_pack_series() {
+        let m = Metrics::new(&[("cc-abc".into(), "creditcard".into())]);
+        Metrics::bump(&m.per_pack[0].probes);
+        m.per_pack[0].latency.record_us(42);
+        let text = m.render(7);
+        assert!(text.contains("autotype_pack_probes_total{pack=\"cc-abc\",slug=\"creditcard\"} 1"));
+        assert!(text.contains("autotype_cache_entries 7"));
+        assert!(text.contains("autotype_pack_probe_latency_us_count"));
+    }
+}

@@ -1,0 +1,311 @@
+//! The read-only detection runtime: a fixed, priority-ordered set of
+//! rehydrated detector packs, a shared execution pool, a verdict cache,
+//! and live metrics.
+//!
+//! ## Semantics
+//!
+//! Detection follows the evaluation driver's contract exactly
+//! (`autotype_tables::detect_by_values_mut` and the batched variant):
+//! packs are scanned in **priority order** — lexicographic pack-file order
+//! at load time — and the **first** pack that accepts a value (or whose
+//! per-column accept fraction clears `VALUE_THRESHOLD`) wins. Verdicts are
+//! pure functions of `(pack, value)` (every probe clones the pack's
+//! snapshot executor), so the cache and the pool are both transparent:
+//! any worker count and any cache state produce bit-identical answers.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use autotype_exec::ExecPool;
+use autotype_pack::{load_pack, PackError, PackValidator, PACK_EXTENSION};
+use autotype_tables::column_passes;
+
+use crate::cache::ShardedLru;
+use crate::metrics::Metrics;
+
+/// Shard count for the verdict cache. Fixed rather than scaled to the
+/// worker count: 16 mutexes are cheap and keep contention negligible even
+/// on large machines.
+const CACHE_SHARDS: usize = 16;
+
+/// Everything a serving process needs, built once at startup.
+pub struct DetectorRuntime {
+    packs: Vec<PackValidator>,
+    pool: ExecPool,
+    cache: ShardedLru,
+    metrics: Metrics,
+}
+
+impl DetectorRuntime {
+    /// Build a runtime from already-loaded validators. Pack order is the
+    /// detection priority order.
+    pub fn from_packs(packs: Vec<PackValidator>, workers: usize, cache_capacity: usize) -> Self {
+        let summaries: Vec<(String, String)> = packs
+            .iter()
+            .map(|p| (p.pack_id().to_string(), p.slug().to_string()))
+            .collect();
+        let cache = ShardedLru::new(CACHE_SHARDS, cache_capacity.max(1), packs.len());
+        DetectorRuntime {
+            metrics: Metrics::new(&summaries),
+            cache,
+            pool: ExecPool::new(workers),
+            packs,
+        }
+    }
+
+    /// Load every `*.atpk` file in `dir`, **sorted by file name** — the
+    /// file-name sort defines detection priority, so operators order packs
+    /// by prefixing names (`00-creditcard.atpk`, `01-ipv6.atpk`, ...).
+    pub fn load_dir(dir: &Path, workers: usize, cache_capacity: usize) -> Result<Self, PackError> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(PACK_EXTENSION))
+            .collect();
+        paths.sort();
+        let packs = paths
+            .iter()
+            .map(|p| load_pack(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::from_packs(packs, workers, cache_capacity))
+    }
+
+    pub fn packs(&self) -> &[PackValidator] {
+        &self.packs
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Entries currently held by the verdict cache (for `/metrics`).
+    pub fn cache_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// One `(pack, value)` verdict, through the cache, with full metric
+    /// accounting. This is the only place uncached probes run.
+    pub fn probe(&self, pack: usize, value: &str) -> bool {
+        if let Some(verdict) = self.cache.get(pack, value) {
+            Metrics::bump(&self.metrics.cache_hits);
+            return verdict;
+        }
+        Metrics::bump(&self.metrics.cache_misses);
+        let start = Instant::now();
+        let (verdict, fuel) = self.packs[pack].accepts_with_fuel(value);
+        let pm = &self.metrics.per_pack[pack];
+        pm.latency.record_us(start.elapsed().as_micros() as u64);
+        Metrics::bump(&pm.probes);
+        if verdict {
+            Metrics::bump(&pm.accepts);
+        }
+        self.metrics.fuel_spent.fetch_add(fuel, Ordering::Relaxed);
+        self.cache.put(pack, value, verdict);
+        verdict
+    }
+
+    /// Cache read without touching hit/miss counters; falls back to a
+    /// (counted) probe if the entry was evicted. Used by the second pass of
+    /// [`detect_column`](Self::detect_column), which re-reads verdicts the
+    /// warm pass just computed — counting those reads as hits would
+    /// double-book every column value.
+    fn verdict_quiet(&self, pack: usize, value: &str) -> bool {
+        match self.cache.get(pack, value) {
+            Some(verdict) => verdict,
+            None => self.probe(pack, value),
+        }
+    }
+
+    /// Detect a single value: first pack (in priority order) that accepts.
+    /// Returns the pack index.
+    pub fn detect_value(&self, value: &str) -> Option<usize> {
+        self.metrics.values_served.fetch_add(1, Ordering::Relaxed);
+        (0..self.packs.len()).find(|&pi| self.probe(pi, value))
+    }
+
+    /// Detect a batch of values, fanning the `value × pack` verdict matrix
+    /// across the execution pool and merging first-matching-pack per value.
+    ///
+    /// Identical to mapping [`detect_value`](Self::detect_value) over the
+    /// batch (verdicts are pure), except that all cells are evaluated — the
+    /// eager matrix is what makes the work embarrassingly parallel, and
+    /// every cell lands in the cache for later requests.
+    pub fn detect_batch(&self, values: &[String]) -> Vec<Option<usize>> {
+        self.metrics
+            .values_served
+            .fetch_add(values.len() as u64, Ordering::Relaxed);
+        if self.packs.is_empty() || values.is_empty() {
+            return vec![None; values.len()];
+        }
+        let npacks = self.packs.len();
+        let cells: Vec<(usize, usize)> = (0..values.len())
+            .flat_map(|vi| (0..npacks).map(move |pi| (vi, pi)))
+            .collect();
+        let verdicts = self
+            .pool
+            .run_ordered(cells, |_, (vi, pi)| self.probe(pi, &values[vi]));
+        (0..values.len())
+            .map(|vi| (0..npacks).find(|pi| verdicts[vi * npacks + pi]))
+            .collect()
+    }
+
+    /// Detect a whole column: first pack (in priority order) whose accept
+    /// fraction over the column clears `VALUE_THRESHOLD` — the exact
+    /// semantics of the evaluation driver's `detect_by_values_mut`.
+    ///
+    /// The `value × pack` matrix is warmed through the pool first (counted
+    /// normally), then the threshold scan re-reads verdicts from the cache
+    /// without counting.
+    pub fn detect_column(&self, values: &[String]) -> Option<usize> {
+        self.metrics
+            .values_served
+            .fetch_add(values.len() as u64, Ordering::Relaxed);
+        if self.packs.is_empty() || values.is_empty() {
+            return None;
+        }
+        let npacks = self.packs.len();
+        let cells: Vec<(usize, usize)> = (0..values.len())
+            .flat_map(|vi| (0..npacks).map(move |pi| (vi, pi)))
+            .collect();
+        self.pool
+            .run_ordered(cells, |_, (vi, pi)| self.probe(pi, &values[vi]));
+        (0..npacks).find(|&pi| column_passes(values, |v| self.verdict_quiet(pi, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotype_exec::{EntryPoint, Literal};
+    use autotype_lang::{SiteId, ValueSummary};
+    use autotype_pack::Pack;
+
+    /// A pack whose DNF-E is just the synthetic black-box literal "the
+    /// function returned True" — robust to branch-site numbering, so the
+    /// tests only depend on the program's return value.
+    fn boolean_pack(slug: &str, func: &str, source: &str) -> Pack {
+        Pack {
+            slug: slug.into(),
+            keyword: slug.into(),
+            label: format!("demo/mod.{func}"),
+            repo_name: "demo".into(),
+            file: "mod".into(),
+            strategy: "S1".into(),
+            method: "DNF-S".into(),
+            score: 1.0,
+            neg_fraction: 0.0,
+            explanation: "(ret==True)".into(),
+            fuel: 10_000,
+            installs: 0,
+            candidate_file: 0,
+            entry: EntryPoint::Function { name: func.into() },
+            files: vec![("mod".into(), source.into())],
+            packages: vec![],
+            dnf_e: vec![vec![Literal::Ret {
+                site: SiteId::new(u32::MAX, 0),
+                value: ValueSummary::Bool(true),
+            }]],
+        }
+    }
+
+    fn runtime(workers: usize) -> DetectorRuntime {
+        // Priority order: even-length first, then short (< 3 chars).
+        let even = boolean_pack(
+            "evenlen",
+            "is_even_len",
+            "def is_even_len(s):\n    if len(s) % 2 == 0:\n        return True\n    return False\n",
+        );
+        let short = boolean_pack(
+            "short",
+            "is_short",
+            "def is_short(s):\n    if len(s) < 3:\n        return True\n    return False\n",
+        );
+        DetectorRuntime::from_packs(
+            vec![even.validator().unwrap(), short.validator().unwrap()],
+            workers,
+            1024,
+        )
+    }
+
+    #[test]
+    fn detect_value_first_match_wins() {
+        let rt = runtime(1);
+        // "ab": even length → pack 0 wins even though pack 1 also accepts.
+        assert_eq!(rt.detect_value("ab"), Some(0));
+        // "a": odd but short → pack 1.
+        assert_eq!(rt.detect_value("a"), Some(1));
+        // "abc": odd and long → no pack.
+        assert_eq!(rt.detect_value("abc"), None);
+    }
+
+    #[test]
+    fn detect_batch_matches_serial_at_any_worker_count() {
+        let values: Vec<String> = ["ab", "a", "abc", "abcd", "", "xyzzy"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let serial = runtime(1);
+        let expected: Vec<Option<usize>> = values.iter().map(|v| serial.detect_value(v)).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let rt = runtime(workers);
+            assert_eq!(rt.detect_batch(&values), expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn second_identical_batch_is_all_cache_hits() {
+        let rt = runtime(2);
+        let values: Vec<String> = ["ab", "abc", "x"].iter().map(|s| s.to_string()).collect();
+        let first = rt.detect_batch(&values);
+        let misses_after_first = Metrics::read(&rt.metrics().cache_misses);
+        assert_eq!(misses_after_first, 6, "3 values × 2 packs, all uncached");
+        let second = rt.detect_batch(&values);
+        assert_eq!(first, second);
+        assert_eq!(
+            Metrics::read(&rt.metrics().cache_misses),
+            misses_after_first,
+            "second batch must not probe"
+        );
+        assert_eq!(Metrics::read(&rt.metrics().cache_hits), 6);
+        assert!(rt.metrics().hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn detect_column_uses_threshold_and_priority() {
+        let rt = runtime(4);
+        // 5/6 even-length (> 0.8 threshold) → pack 0.
+        let mostly_even: Vec<String> = ["ab", "cd", "ef", "gh", "ij", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(rt.detect_column(&mostly_even), Some(0));
+        // All short-but-odd → only pack 1 passes.
+        let short_odd: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(rt.detect_column(&short_odd), Some(1));
+        // Mixed junk: neither passes.
+        let junk: Vec<String> = ["abc", "defgh", "x", "yz"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(rt.detect_column(&junk), None);
+        // Empty column never matches.
+        assert_eq!(rt.detect_column(&[]), None);
+    }
+
+    #[test]
+    fn column_warm_pass_does_not_double_count_hits() {
+        let rt = runtime(1);
+        let values: Vec<String> = ["ab", "cd", "ef"].iter().map(|s| s.to_string()).collect();
+        rt.detect_column(&values);
+        // Warm pass: 3 values × 2 packs = 6 misses; the threshold scan
+        // re-reads quietly, so hits stay 0.
+        assert_eq!(Metrics::read(&rt.metrics().cache_misses), 6);
+        assert_eq!(Metrics::read(&rt.metrics().cache_hits), 0);
+    }
+}

@@ -91,7 +91,12 @@ pub type TraceSet = BTreeSet<Literal>;
 
 /// Build the quality score `Q(F)` of §8.1 from holdout outcomes:
 /// `0.5·(pass in P_test)/|P_test| + 0.5·(reject in N_test)/|N_test|`.
-pub fn quality_score(pos_pass: usize, pos_total: usize, neg_reject: usize, neg_total: usize) -> f64 {
+pub fn quality_score(
+    pos_pass: usize,
+    pos_total: usize,
+    neg_reject: usize,
+    neg_total: usize,
+) -> f64 {
     let p = if pos_total == 0 {
         0.0
     } else {
@@ -131,8 +136,8 @@ mod tests {
             vec![0, 2, 3], // visa: b6, b16, b7(=b6 twin)
             vec![1, 2],    // mc
             vec![0, 2, 3],
-            vec![2],    // passes checksum branch but no brand: forces
-                        // conjunctions instead of b16 alone
+            vec![2], // passes checksum branch but no brand: forces
+            // conjunctions instead of b16 alone
             vec![0, 3], // visa prefix, bad checksum
             vec![],     // crash
         ];

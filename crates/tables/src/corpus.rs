@@ -188,8 +188,8 @@ pub fn generate_columns(config: &TableConfig, rng: &mut StdRng) -> Vec<Column> {
 
     // Untyped filler columns.
     const WORDS: &[&str] = &[
-        "apple", "table", "river", "mountain", "blue", "green", "alpha", "beta", "north",
-        "south", "engine", "wheel", "stone", "cloud", "paper", "glass",
+        "apple", "table", "river", "mountain", "blue", "green", "alpha", "beta", "north", "south",
+        "engine", "wheel", "stone", "cloud", "paper", "glass",
     ];
     for i in 0..config.untyped {
         let rows = rng.gen_range(config.rows.0..=config.rows.1);
@@ -201,7 +201,8 @@ pub fn generate_columns(config: &TableConfig, rng: &mut StdRng) -> Vec<Column> {
                 .map(|_| {
                     // Heterogeneous magnitudes, like real numeric columns.
                     let digits = rng.gen_range(1..8u32);
-                    rng.gen_range(10i64.pow(digits - 1)..10i64.pow(digits)).to_string()
+                    rng.gen_range(10i64.pow(digits - 1)..10i64.pow(digits))
+                        .to_string()
                 })
                 .collect(),
             2 => (0..rows)
@@ -297,10 +298,7 @@ mod tests {
             },
             &mut rng,
         );
-        let datetime = full
-            .iter()
-            .filter(|c| c.truth == Some("datetime"))
-            .count();
+        let datetime = full.iter().filter(|c| c.truth == Some("datetime")).count();
         assert_eq!(datetime, 307); // ceil(3069 * 0.1)
     }
 

@@ -35,9 +35,10 @@ pub type SyncValueDetector<'a> = (&'static str, Box<dyn Fn(&str) -> bool + Sync 
 /// [`VALUE_THRESHOLD`] of its values pass the predicate ("to account for
 /// dirty values such as meta-data mixed in columns"). Empty columns never
 /// pass. Every detection path funnels through this one comparison so the
-/// threshold semantics cannot drift between the serial, mutable, and
-/// batched variants.
-fn column_passes(values: &[String], mut predicate: impl FnMut(&str) -> bool) -> bool {
+/// threshold semantics cannot drift between the serial, mutable, batched,
+/// and serve-runtime variants (`autotype-serve` calls it for
+/// `POST /detect/column`).
+pub fn column_passes(values: &[String], mut predicate: impl FnMut(&str) -> bool) -> bool {
     if values.is_empty() {
         return false;
     }
@@ -70,7 +71,12 @@ pub fn detect_by_values_mut(
 pub fn detect_by_values(columns: &[Column], detectors: &[ValueDetector<'_>]) -> Vec<Detection> {
     let mut muts: Vec<ValueDetectorMut<'_>> = detectors
         .iter()
-        .map(|(slug, f)| (*slug, Box::new(move |v: &str| f(v)) as Box<dyn FnMut(&str) -> bool>))
+        .map(|(slug, f)| {
+            (
+                *slug,
+                Box::new(move |v: &str| f(v)) as Box<dyn FnMut(&str) -> bool>,
+            )
+        })
         .collect();
     detect_by_values_mut(columns, &mut muts)
 }
@@ -240,17 +246,36 @@ mod tests {
         vec![
             Column {
                 header: Some("ip".into()),
-                values: vec!["1.2.3.4".into(), "10.0.0.1".into(), "N/A".into(), "8.8.8.8".into(), "9.9.9.9".into(), "7.7.7.7".into()],
+                values: vec![
+                    "1.2.3.4".into(),
+                    "10.0.0.1".into(),
+                    "N/A".into(),
+                    "8.8.8.8".into(),
+                    "9.9.9.9".into(),
+                    "7.7.7.7".into(),
+                ],
                 truth: Some("ipv4"),
             },
             Column {
                 header: Some("version number".into()),
-                values: vec!["7.74.0.0".into(), "1.2.0.0".into(), "2.0.0.1".into(), "3.1.0.0".into(), "8.0.0.0".into()],
+                values: vec![
+                    "7.74.0.0".into(),
+                    "1.2.0.0".into(),
+                    "2.0.0.1".into(),
+                    "3.1.0.0".into(),
+                    "8.0.0.0".into(),
+                ],
                 truth: None,
             },
             Column {
                 header: Some("ip address list".into()),
-                values: vec!["hello".into(), "world".into(), "x".into(), "y".into(), "z".into()],
+                values: vec![
+                    "hello".into(),
+                    "world".into(),
+                    "x".into(),
+                    "y".into(),
+                    "z".into(),
+                ],
                 truth: None,
             },
         ]
@@ -273,8 +298,14 @@ mod tests {
         // Column 0 has 5/6 valid (83%) → detected; column 1 is the
         // version-number ambiguity → also detected (the §9.2 false
         // positive); column 2 rejected.
-        assert!(detections.contains(&Detection { column: 0, slug: "ipv4" }));
-        assert!(detections.contains(&Detection { column: 1, slug: "ipv4" }));
+        assert!(detections.contains(&Detection {
+            column: 0,
+            slug: "ipv4"
+        }));
+        assert!(detections.contains(&Detection {
+            column: 1,
+            slug: "ipv4"
+        }));
         assert!(!detections.iter().any(|d| d.column == 2));
     }
 
@@ -316,8 +347,14 @@ mod tests {
         assert_eq!(
             detections,
             vec![
-                Detection { column: 0, slug: "ipv4" },
-                Detection { column: 1, slug: "ipv4" }
+                Detection {
+                    column: 0,
+                    slug: "ipv4"
+                },
+                Detection {
+                    column: 1,
+                    slug: "ipv4"
+                }
             ]
         );
         // Every value of every column probed exactly once.
@@ -329,10 +366,16 @@ mod tests {
         let cols = columns();
         let keywords = vec![("ipv4", vec!["ip", "ip address"])];
         let detections = detect_by_header(&cols, &keywords);
-        assert!(detections.contains(&Detection { column: 0, slug: "ipv4" }));
+        assert!(detections.contains(&Detection {
+            column: 0,
+            slug: "ipv4"
+        }));
         // The keyword baseline's classic false positive: header mentions
         // "ip address" but the values are not addresses.
-        assert!(detections.contains(&Detection { column: 2, slug: "ipv4" }));
+        assert!(detections.contains(&Detection {
+            column: 2,
+            slug: "ipv4"
+        }));
     }
 
     #[test]

@@ -12,7 +12,11 @@ pub(crate) fn types() -> Vec<Spec> {
             name: "SEDOL",
             slug: "sedol",
             domain: Domain::Finance,
-            keywords: &["SEDOL", "stock exchange daily official list", "SEDOL number"],
+            keywords: &[
+                "SEDOL",
+                "stock exchange daily official list",
+                "SEDOL number",
+            ],
             coverage: Coverage::Covered,
             popular: false,
             validate: ck::sedol_valid,
@@ -219,8 +223,7 @@ fn v_ticker(s: &str) -> bool {
         Some((sym, suf)) => (sym, Some(suf)),
         None => (s, None),
     };
-    let sym_ok = (1..=5).contains(&symbol.len())
-        && symbol.bytes().all(|b| b.is_ascii_uppercase());
+    let sym_ok = (1..=5).contains(&symbol.len()) && symbol.bytes().all(|b| b.is_ascii_uppercase());
     let suf_ok = match suffix {
         None => true,
         Some(x) => (1..=2).contains(&x.len()) && x.bytes().all(|b| b.is_ascii_uppercase()),
@@ -232,7 +235,10 @@ fn g_ticker(rng: &mut StdRng) -> String {
     if rng.gen_bool(0.8) {
         gen::pick(rng, gen::TICKERS).to_string()
     } else {
-        { let n = rng.gen_range(1..=5); gen::upper(rng, n) }
+        {
+            let n = rng.gen_range(1..=5);
+            gen::upper(rng, n)
+        }
     }
 }
 
@@ -267,7 +273,9 @@ fn v_asin(s: &str) -> bool {
         return false;
     }
     if b.starts_with(b"B0") {
-        return b.iter().all(|x| x.is_ascii_digit() || x.is_ascii_uppercase());
+        return b
+            .iter()
+            .all(|x| x.is_ascii_digit() || x.is_ascii_uppercase());
     }
     ck::isbn10_valid(s)
 }
@@ -318,19 +326,14 @@ fn v_bitcoin(s: &str) -> bool {
 fn g_bitcoin(rng: &mut StdRng) -> String {
     const BASE58: &str = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
     let prefix = if rng.gen_bool(0.5) { "1" } else { "3" };
-    format!(
-        "{prefix}{}",
-        {
-            let n = rng.gen_range(25..=33);
-            gen::from_alphabet(rng, BASE58, n)
-        }
-    )
+    format!("{prefix}{}", {
+        let n = rng.gen_range(25..=33);
+        gen::from_alphabet(rng, BASE58, n)
+    })
 }
 
 fn v_edifact(s: &str) -> bool {
-    (s.starts_with("UNA") || s.starts_with("UNB+"))
-        && s.contains('+')
-        && s.ends_with('\'')
+    (s.starts_with("UNA") || s.starts_with("UNB+")) && s.contains('+') && s.ends_with('\'')
 }
 
 fn g_edifact(rng: &mut StdRng) -> String {
@@ -386,7 +389,10 @@ pub(crate) fn v_creditcard(s: &str) -> bool {
         15 => compact.starts_with("34") || compact.starts_with("37"),
         16 => {
             compact.starts_with('4')
-                || (compact[..2].parse::<u32>().map(|p| (51..=55).contains(&p)).unwrap_or(false))
+                || (compact[..2]
+                    .parse::<u32>()
+                    .map(|p| (51..=55).contains(&p))
+                    .unwrap_or(false))
                 || compact.starts_with("6011")
                 || compact.starts_with("65")
         }
@@ -413,8 +419,7 @@ fn v_currency(s: &str) -> bool {
         return false;
     }
     // Forms: "$1,234.56", "€12.50", "£5", "USD 25.00", "25.00 USD"
-    let (code_or_symbol, number) = if let Some(stripped) =
-        s.strip_prefix(['$', '€', '£', '¥'])
+    let (code_or_symbol, number) = if let Some(stripped) = s.strip_prefix(['$', '€', '£', '¥'])
     {
         (true, stripped.trim_start())
     } else if s.len() > 4
@@ -486,7 +491,11 @@ fn g_currency(rng: &mut StdRng) -> String {
     match rng.gen_range(0..4) {
         0 => format!("${}.{cents:02}", with_thousands(amount)),
         1 => format!("€{}.{cents:02}", amount),
-        2 => format!("{} {}.{cents:02}", gen::pick(rng, gen::CURRENCY_CODES), amount),
+        2 => format!(
+            "{} {}.{cents:02}",
+            gen::pick(rng, gen::CURRENCY_CODES),
+            amount
+        ),
         _ => format!("£{}", with_thousands(amount)),
     }
 }

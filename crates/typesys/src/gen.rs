@@ -7,7 +7,9 @@ use rand::Rng;
 
 /// `n` random ASCII digits.
 pub fn digits(rng: &mut StdRng, n: usize) -> String {
-    (0..n).map(|_| char::from(b'0' + rng.gen_range(0..10))).collect()
+    (0..n)
+        .map(|_| char::from(b'0' + rng.gen_range(0..10)))
+        .collect()
 }
 
 /// `n` random digits with a non-zero first digit.
@@ -20,18 +22,24 @@ pub fn digits_nz(rng: &mut StdRng, n: usize) -> String {
 
 /// `n` random uppercase ASCII letters.
 pub fn upper(rng: &mut StdRng, n: usize) -> String {
-    (0..n).map(|_| char::from(b'A' + rng.gen_range(0..26))).collect()
+    (0..n)
+        .map(|_| char::from(b'A' + rng.gen_range(0..26)))
+        .collect()
 }
 
 /// `n` random lowercase ASCII letters.
 pub fn lower(rng: &mut StdRng, n: usize) -> String {
-    (0..n).map(|_| char::from(b'a' + rng.gen_range(0..26))).collect()
+    (0..n)
+        .map(|_| char::from(b'a' + rng.gen_range(0..26)))
+        .collect()
 }
 
 /// `n` random characters from `alphabet`.
 pub fn from_alphabet(rng: &mut StdRng, alphabet: &str, n: usize) -> String {
     let chars: Vec<char> = alphabet.chars().collect();
-    (0..n).map(|_| chars[rng.gen_range(0..chars.len())]).collect()
+    (0..n)
+        .map(|_| chars[rng.gen_range(0..chars.len())])
+        .collect()
 }
 
 /// A uniformly random element of a slice of `Copy` items.
@@ -51,18 +59,70 @@ pub fn hex(rng: &mut StdRng, n: usize) -> String {
 
 /// Common first names used by the person-name / address generators.
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Carlos", "Karen", "Wei", "Nancy", "Ahmed", "Lisa", "Yuki", "Margaret", "Pierre",
-    "Sandra", "Ivan", "Ashley",
+    "James",
+    "Mary",
+    "John",
+    "Patricia",
+    "Robert",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Carlos",
+    "Karen",
+    "Wei",
+    "Nancy",
+    "Ahmed",
+    "Lisa",
+    "Yuki",
+    "Margaret",
+    "Pierre",
+    "Sandra",
+    "Ivan",
+    "Ashley",
 ];
 
 /// Common last names.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Chen", "Nguyen", "Kim", "Patel", "Mueller", "Rossi",
-    "Tanaka", "Kowalski", "Ivanov",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Chen",
+    "Nguyen",
+    "Kim",
+    "Patel",
+    "Mueller",
+    "Rossi",
+    "Tanaka",
+    "Kowalski",
+    "Ivanov",
 ];
 
 /// Street suffixes for mailing addresses.
@@ -72,29 +132,64 @@ pub const STREET_SUFFIXES: &[&str] = &[
 
 /// Street base names.
 pub const STREET_NAMES: &[&str] = &[
-    "Main", "Oak", "Maple", "Cedar", "Pine", "Elm", "Washington", "Lake", "Hill", "Park",
-    "Euclid", "Wall", "Broad", "Church", "Market", "Spring", "High", "Center", "Union", "River",
+    "Main",
+    "Oak",
+    "Maple",
+    "Cedar",
+    "Pine",
+    "Elm",
+    "Washington",
+    "Lake",
+    "Hill",
+    "Park",
+    "Euclid",
+    "Wall",
+    "Broad",
+    "Church",
+    "Market",
+    "Spring",
+    "High",
+    "Center",
+    "Union",
+    "River",
 ];
 
 /// US cities (paired loosely with states below).
 pub const CITIES: &[&str] = &[
-    "Springfield", "Portland", "Madison", "Georgetown", "Franklin", "Arlington", "Salem",
-    "Fairview", "Riverside", "Clinton", "Utica", "Houston", "Seattle", "Denver", "Austin",
-    "Boston", "Phoenix", "Atlanta", "Chicago", "Dayton",
+    "Springfield",
+    "Portland",
+    "Madison",
+    "Georgetown",
+    "Franklin",
+    "Arlington",
+    "Salem",
+    "Fairview",
+    "Riverside",
+    "Clinton",
+    "Utica",
+    "Houston",
+    "Seattle",
+    "Denver",
+    "Austin",
+    "Boston",
+    "Phoenix",
+    "Atlanta",
+    "Chicago",
+    "Dayton",
 ];
 
 /// The 50 US state abbreviations plus DC.
 pub const US_STATES: &[&str] = &[
-    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
-    "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
-    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT",
-    "VA", "WA", "WV", "WI", "WY", "DC",
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA", "KS",
+    "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY",
+    "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+    "WI", "WY", "DC",
 ];
 
 /// ISO 3166-1 alpha-2 country codes (subset).
 pub const COUNTRY_CODES_2: &[&str] = &[
-    "US", "GB", "DE", "FR", "JP", "CN", "IN", "BR", "CA", "AU", "IT", "ES", "NL", "SE", "CH",
-    "KR", "MX", "RU", "ZA", "NO", "DK", "FI", "PL", "BE", "AT", "IE", "PT", "GR", "CZ", "NZ",
+    "US", "GB", "DE", "FR", "JP", "CN", "IN", "BR", "CA", "AU", "IT", "ES", "NL", "SE", "CH", "KR",
+    "MX", "RU", "ZA", "NO", "DK", "FI", "PL", "BE", "AT", "IE", "PT", "GR", "CZ", "NZ",
 ];
 
 /// ISO 3166-1 alpha-3 country codes (subset, aligned with the alpha-2 list).
@@ -106,10 +201,36 @@ pub const COUNTRY_CODES_3: &[&str] = &[
 
 /// Country display names (aligned with the alpha-2 list).
 pub const COUNTRY_NAMES: &[&str] = &[
-    "United States", "United Kingdom", "Germany", "France", "Japan", "China", "India", "Brazil",
-    "Canada", "Australia", "Italy", "Spain", "Netherlands", "Sweden", "Switzerland",
-    "South Korea", "Mexico", "Russia", "South Africa", "Norway", "Denmark", "Finland", "Poland",
-    "Belgium", "Austria", "Ireland", "Portugal", "Greece", "Czechia", "New Zealand",
+    "United States",
+    "United Kingdom",
+    "Germany",
+    "France",
+    "Japan",
+    "China",
+    "India",
+    "Brazil",
+    "Canada",
+    "Australia",
+    "Italy",
+    "Spain",
+    "Netherlands",
+    "Sweden",
+    "Switzerland",
+    "South Korea",
+    "Mexico",
+    "Russia",
+    "South Africa",
+    "Norway",
+    "Denmark",
+    "Finland",
+    "Poland",
+    "Belgium",
+    "Austria",
+    "Ireland",
+    "Portugal",
+    "Greece",
+    "Czechia",
+    "New Zealand",
 ];
 
 /// IATA airport codes (subset).
@@ -121,8 +242,16 @@ pub const AIRPORT_CODES: &[&str] = &[
 
 /// Email domains.
 pub const EMAIL_DOMAINS: &[&str] = &[
-    "gmail.com", "yahoo.com", "outlook.com", "example.com", "mail.org", "company.net",
-    "university.edu", "hotmail.com", "proton.me", "corp.io",
+    "gmail.com",
+    "yahoo.com",
+    "outlook.com",
+    "example.com",
+    "mail.org",
+    "company.net",
+    "university.edu",
+    "hotmail.com",
+    "proton.me",
+    "corp.io",
 ];
 
 /// Stock tickers (subset of real symbols).
@@ -134,33 +263,83 @@ pub const TICKERS: &[&str] = &[
 
 /// Known chemical element symbols (for chemical-formula validation).
 pub const ELEMENTS: &[&str] = &[
-    "H", "He", "Li", "Be", "B", "C", "N", "O", "F", "Ne", "Na", "Mg", "Al", "Si", "P", "S",
-    "Cl", "Ar", "K", "Ca", "Fe", "Cu", "Zn", "Br", "Ag", "I", "Au", "Hg", "Pb", "Sn", "Ni",
-    "Mn", "Cr", "Co", "Ti",
+    "H", "He", "Li", "Be", "B", "C", "N", "O", "F", "Ne", "Na", "Mg", "Al", "Si", "P", "S", "Cl",
+    "Ar", "K", "Ca", "Fe", "Cu", "Zn", "Br", "Ag", "I", "Au", "Hg", "Pb", "Sn", "Ni", "Mn", "Cr",
+    "Co", "Ti",
 ];
 
 /// Common drug names (for the drug-name type).
 pub const DRUG_NAMES: &[&str] = &[
-    "Atorvastatin", "Lisinopril", "Metformin", "Amlodipine", "Metoprolol", "Omeprazole",
-    "Simvastatin", "Losartan", "Albuterol", "Gabapentin", "Hydrochlorothiazide", "Sertraline",
-    "Ibuprofen", "Acetaminophen", "Amoxicillin", "Azithromycin", "Prednisone", "Tramadol",
-    "Trazodone", "Pantoprazole", "Fluoxetine", "Citalopram", "Warfarin", "Clopidogrel",
-    "Montelukast", "Rosuvastatin", "Escitalopram", "Bupropion", "Furosemide", "Carvedilol",
+    "Atorvastatin",
+    "Lisinopril",
+    "Metformin",
+    "Amlodipine",
+    "Metoprolol",
+    "Omeprazole",
+    "Simvastatin",
+    "Losartan",
+    "Albuterol",
+    "Gabapentin",
+    "Hydrochlorothiazide",
+    "Sertraline",
+    "Ibuprofen",
+    "Acetaminophen",
+    "Amoxicillin",
+    "Azithromycin",
+    "Prednisone",
+    "Tramadol",
+    "Trazodone",
+    "Pantoprazole",
+    "Fluoxetine",
+    "Citalopram",
+    "Warfarin",
+    "Clopidogrel",
+    "Montelukast",
+    "Rosuvastatin",
+    "Escitalopram",
+    "Bupropion",
+    "Furosemide",
+    "Carvedilol",
 ];
 
 /// Book titles (for the book-name type and ISBN transformations).
 pub const BOOK_TITLES: &[&str] = &[
-    "The Great Gatsby", "To Kill a Mockingbird", "Pride and Prejudice", "The Catcher in the Rye",
-    "Moby Dick", "War and Peace", "Crime and Punishment", "Brave New World", "Jane Eyre",
-    "Wuthering Heights", "The Odyssey", "Don Quixote", "Anna Karenina", "Great Expectations",
-    "The Brothers Karamazov", "One Hundred Years of Solitude", "A Tale of Two Cities",
-    "Les Miserables", "The Grapes of Wrath", "Lolita",
+    "The Great Gatsby",
+    "To Kill a Mockingbird",
+    "Pride and Prejudice",
+    "The Catcher in the Rye",
+    "Moby Dick",
+    "War and Peace",
+    "Crime and Punishment",
+    "Brave New World",
+    "Jane Eyre",
+    "Wuthering Heights",
+    "The Odyssey",
+    "Don Quixote",
+    "Anna Karenina",
+    "Great Expectations",
+    "The Brothers Karamazov",
+    "One Hundred Years of Solitude",
+    "A Tale of Two Cities",
+    "Les Miserables",
+    "The Grapes of Wrath",
+    "Lolita",
 ];
 
 /// Month names and abbreviations for date generation/validation.
 pub const MONTHS_FULL: &[&str] = &[
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 /// Three-letter month abbreviations.

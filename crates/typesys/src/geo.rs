@@ -239,7 +239,9 @@ fn v_ukpostcode(s: &str) -> bool {
 }
 
 fn g_ukpostcode(rng: &mut StdRng) -> String {
-    const AREAS: &[&str] = &["SW", "EC", "N", "E", "W", "NW", "SE", "M", "B", "LS", "G", "EH"];
+    const AREAS: &[&str] = &[
+        "SW", "EC", "N", "E", "W", "NW", "SE", "M", "B", "LS", "G", "EH",
+    ];
     let area = gen::pick(rng, AREAS);
     let district = rng.gen_range(1..=20);
     format!(
@@ -496,10 +498,10 @@ fn v_igsn(s: &str) -> bool {
 }
 
 fn g_igsn(rng: &mut StdRng) -> String {
-    format!(
-        "IGSN{}",
-        { let n = rng.gen_range(5..=9); gen::from_alphabet(rng, "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", n) }
-    )
+    format!("IGSN{}", {
+        let n = rng.gen_range(5..=9);
+        gen::from_alphabet(rng, "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", n)
+    })
 }
 
 #[cfg(test)]

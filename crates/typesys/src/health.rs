@@ -151,7 +151,10 @@ fn g_icd9(rng: &mut StdRng) -> String {
         _ => gen::digits(rng, 3),
     };
     if rng.gen_bool(0.6) {
-        format!("{head}.{}", { let n = rng.gen_range(1..=2); gen::digits(rng, n) })
+        format!("{head}.{}", {
+            let n = rng.gen_range(1..=2);
+            gen::digits(rng, n)
+        })
     } else {
         head
     }
@@ -170,9 +173,7 @@ fn v_icd10(s: &str) -> bool {
         && (hb[2].is_ascii_digit() || hb[2].is_ascii_uppercase());
     let tail_ok = match tail {
         None => true,
-        Some(t) => {
-            (1..=4).contains(&t.len()) && t.bytes().all(|b| b.is_ascii_alphanumeric())
-        }
+        Some(t) => (1..=4).contains(&t.len()) && t.bytes().all(|b| b.is_ascii_alphanumeric()),
     };
     head_ok && tail_ok
 }
@@ -181,7 +182,10 @@ fn g_icd10(rng: &mut StdRng) -> String {
     let letter = gen::from_alphabet(rng, "ABCDEFGHIJKLMNOPQRSTVWXYZ", 1);
     let head = format!("{letter}{}", gen::digits(rng, 2));
     if rng.gen_bool(0.7) {
-        format!("{head}.{}", { let n = rng.gen_range(1..=3); gen::digits(rng, n) })
+        format!("{head}.{}", {
+            let n = rng.gen_range(1..=3);
+            gen::digits(rng, n)
+        })
     } else {
         head
     }
@@ -228,17 +232,24 @@ fn v_ndc(s: &str) -> bool {
     }
     let lens = (parts[0].len(), parts[1].len(), parts[2].len());
     matches!(lens, (4..=5, 3..=4, 1..=2))
-        && parts
-            .iter()
-            .all(|p| p.bytes().all(|b| b.is_ascii_digit()))
+        && parts.iter().all(|p| p.bytes().all(|b| b.is_ascii_digit()))
 }
 
 fn g_ndc(rng: &mut StdRng) -> String {
     format!(
         "{}-{}-{}",
-        { let n = rng.gen_range(4..=5); gen::digits(rng, n) },
-        { let n = rng.gen_range(3..=4); gen::digits(rng, n) },
-        { let n = rng.gen_range(1..=2); gen::digits(rng, n) }
+        {
+            let n = rng.gen_range(4..=5);
+            gen::digits(rng, n)
+        },
+        {
+            let n = rng.gen_range(3..=4);
+            gen::digits(rng, n)
+        },
+        {
+            let n = rng.gen_range(1..=2);
+            gen::digits(rng, n)
+        }
     )
 }
 
@@ -278,7 +289,9 @@ mod tests {
 
     #[test]
     fn hl7_and_ndc() {
-        assert!(v_hl7("MSH|^~\\&|EPIC|HOSP|RCV|FAC|202001011200||ADT^A01|MSG1|P|2.3"));
+        assert!(v_hl7(
+            "MSH|^~\\&|EPIC|HOSP|RCV|FAC|202001011200||ADT^A01|MSG1|P|2.3"
+        ));
         assert!(!v_hl7("PID|1|12345"));
         assert!(v_ndc("0777-3105-02"));
         assert!(!v_ndc("0777-3105"));

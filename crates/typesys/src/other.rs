@@ -398,12 +398,13 @@ fn v_html(s: &str) -> bool {
     }
     // Must contain a known HTML tag and a matching close (or self-close).
     const TAGS: &[&str] = &[
-        "html", "div", "p", "a", "span", "table", "tr", "td", "ul", "li", "h1", "h2", "body",
-        "b", "i", "img", "br", "head", "title",
+        "html", "div", "p", "a", "span", "table", "tr", "td", "ul", "li", "h1", "h2", "body", "b",
+        "i", "img", "br", "head", "title",
     ];
     let lower = t.to_ascii_lowercase();
     TAGS.iter().any(|tag| {
-        lower.contains(&format!("<{tag}")) && (lower.contains(&format!("</{tag}>")) || lower.contains("/>"))
+        lower.contains(&format!("<{tag}"))
+            && (lower.contains(&format!("</{tag}>")) || lower.contains("/>"))
     })
 }
 
@@ -628,11 +629,7 @@ pub(crate) fn v_xml(s: &str) -> bool {
         } else if tag.ends_with('/') {
             saw_element = true;
         } else {
-            let name: String = tag
-                .split_whitespace()
-                .next()
-                .unwrap_or("")
-                .to_string();
+            let name: String = tag.split_whitespace().next().unwrap_or("").to_string();
             if name.is_empty() || !name.chars().next().unwrap().is_ascii_alphabetic() {
                 return false;
             }
@@ -679,7 +676,10 @@ fn days_in_month(month: u32, year: u32) -> u32 {
 }
 
 fn valid_ymd(year: u32, month: u32, day: u32) -> bool {
-    (1000..=2100).contains(&year) && (1..=12).contains(&month) && day >= 1 && day <= days_in_month(month, year)
+    (1000..=2100).contains(&year)
+        && (1..=12).contains(&month)
+        && day >= 1
+        && day <= days_in_month(month, year)
 }
 
 fn valid_time(t: &str) -> bool {
@@ -700,7 +700,11 @@ fn valid_time(t: &str) -> bool {
     let hour: u32 = parts[0].parse().unwrap();
     let minute: u32 = parts[1].parse().unwrap();
     let second: u32 = parts.get(2).map(|p| p.parse().unwrap()).unwrap_or(0);
-    let hour_ok = if ampm { (1..=12).contains(&hour) } else { hour <= 23 };
+    let hour_ok = if ampm {
+        (1..=12).contains(&hour)
+    } else {
+        hour <= 23
+    };
     hour_ok && minute <= 59 && second <= 59
 }
 
@@ -821,10 +825,23 @@ fn g_sql(rng: &mut StdRng) -> String {
     let table = gen::pick(rng, &["users", "orders", "products", "events", "logs"]);
     let column = gen::pick(rng, &["id", "name", "created_at", "price", "status"]);
     match rng.gen_range(0..4) {
-        0 => format!("SELECT {column} FROM {table} WHERE id = {}", rng.gen_range(1..1000)),
-        1 => format!("SELECT * FROM {table} ORDER BY {column} DESC LIMIT {}", rng.gen_range(1..100)),
-        2 => format!("INSERT INTO {table} ({column}) VALUES ({})", rng.gen_range(1..100)),
-        _ => format!("UPDATE {table} SET {column} = {} WHERE id = {}", rng.gen_range(1..10), rng.gen_range(1..1000)),
+        0 => format!(
+            "SELECT {column} FROM {table} WHERE id = {}",
+            rng.gen_range(1..1000)
+        ),
+        1 => format!(
+            "SELECT * FROM {table} ORDER BY {column} DESC LIMIT {}",
+            rng.gen_range(1..100)
+        ),
+        2 => format!(
+            "INSERT INTO {table} ({column}) VALUES ({})",
+            rng.gen_range(1..100)
+        ),
+        _ => format!(
+            "UPDATE {table} SET {column} = {} WHERE id = {}",
+            rng.gen_range(1..10),
+            rng.gen_range(1..1000)
+        ),
     }
 }
 

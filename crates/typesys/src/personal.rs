@@ -156,10 +156,7 @@ pub(crate) fn v_phone(s: &str) -> bool {
         return false;
     }
     // Only separators allowed around digits.
-    if !t
-        .chars()
-        .all(|c| c.is_ascii_digit() || " ()-.".contains(c))
-    {
+    if !t.chars().all(|c| c.is_ascii_digit() || " ()-.".contains(c)) {
         return false;
     }
     // NANP area codes start 2-9 (the paper's own example "(502) 107-2133"
@@ -306,10 +303,7 @@ fn v_ssn(s: &str) -> bool {
     if parts.len() != 3 || parts[0].len() != 3 || parts[1].len() != 2 || parts[2].len() != 4 {
         return false;
     }
-    if !parts
-        .iter()
-        .all(|p| p.bytes().all(|b| b.is_ascii_digit()))
-    {
+    if !parts.iter().all(|p| p.bytes().all(|b| b.is_ascii_digit())) {
         return false;
     }
     let area: u32 = parts[0].parse().unwrap();
@@ -366,10 +360,10 @@ fn v_ein(s: &str) -> bool {
         return false;
     };
     const VALID_PREFIXES: &[u32] = &[
-        1, 2, 3, 4, 5, 6, 10, 11, 12, 13, 14, 15, 16, 20, 21, 22, 23, 24, 25, 26, 27, 30, 31,
-        32, 33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47, 48, 50, 51, 52, 53, 54,
-        55, 56, 57, 58, 59, 60, 61, 62, 63, 64, 65, 66, 67, 68, 71, 72, 73, 74, 75, 76, 77, 80,
-        81, 82, 83, 84, 85, 86, 87, 88, 90, 91, 92, 93, 94, 95, 98, 99,
+        1, 2, 3, 4, 5, 6, 10, 11, 12, 13, 14, 15, 16, 20, 21, 22, 23, 24, 25, 26, 27, 30, 31, 32,
+        33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47, 48, 50, 51, 52, 53, 54, 55, 56,
+        57, 58, 59, 60, 61, 62, 63, 64, 65, 66, 67, 68, 71, 72, 73, 74, 75, 76, 77, 80, 81, 82, 83,
+        84, 85, 86, 87, 88, 90, 91, 92, 93, 94, 95, 98, 99,
     ];
     prefix.len() == 2
         && serial.len() == 7
@@ -410,7 +404,10 @@ fn v_pubchem(s: &str) -> bool {
 }
 
 fn g_pubchem(rng: &mut StdRng) -> String {
-    format!("CID{}", { let n = rng.gen_range(3..8); gen::digits_nz(rng, n) })
+    format!("CID{}", {
+        let n = rng.gen_range(3..8);
+        gen::digits_nz(rng, n)
+    })
 }
 
 fn v_pii(s: &str) -> bool {
@@ -420,12 +417,7 @@ fn v_pii(s: &str) -> bool {
 }
 
 fn g_pii(rng: &mut StdRng) -> String {
-    format!(
-        "{}; {}; {}",
-        g_personname(rng),
-        g_ssn(rng),
-        g_email(rng)
-    )
+    format!("{}; {}; {}", g_personname(rng), g_ssn(rng), g_email(rng))
 }
 
 fn g_npi(rng: &mut StdRng) -> String {

@@ -76,7 +76,12 @@ pub(crate) fn types() -> Vec<Spec> {
             name: "DOI",
             slug: "doi",
             domain: Domain::Publication,
-            keywords: &["DOI", "DOI identifier", "digital object identifier", "DOI number"],
+            keywords: &[
+                "DOI",
+                "DOI identifier",
+                "digital object identifier",
+                "DOI number",
+            ],
             coverage: Coverage::Covered,
             popular: false,
             validate: v_doi,
@@ -184,9 +189,7 @@ pub(crate) fn v_isbn(s: &str) -> bool {
         .to_ascii_uppercase();
     let compact = compact.strip_prefix("ISBN").unwrap_or(&compact);
     match compact.len() {
-        13 => {
-            (compact.starts_with("978") || compact.starts_with("979")) && ck::gs1_valid(compact)
-        }
+        13 => (compact.starts_with("978") || compact.starts_with("979")) && ck::gs1_valid(compact),
         10 => ck::isbn10_valid(compact),
         _ => false,
     }
@@ -341,9 +344,18 @@ pub(crate) fn v_doi(s: &str) -> bool {
 fn g_doi(rng: &mut StdRng) -> String {
     format!(
         "10.{}/{}.{}",
-        { let n = rng.gen_range(4..=5); gen::digits_nz(rng, n) },
-        { let n = rng.gen_range(4..9); gen::lower(rng, n) },
-        { let n = rng.gen_range(4..8); gen::digits(rng, n) }
+        {
+            let n = rng.gen_range(4..=5);
+            gen::digits_nz(rng, n)
+        },
+        {
+            let n = rng.gen_range(4..9);
+            gen::lower(rng, n)
+        },
+        {
+            let n = rng.gen_range(4..8);
+            gen::digits(rng, n)
+        }
     )
 }
 
@@ -353,7 +365,9 @@ fn v_isrc(s: &str) -> bool {
     b.len() == 12
         && b[0].is_ascii_uppercase()
         && b[1].is_ascii_uppercase()
-        && b[2..5].iter().all(|x| x.is_ascii_alphanumeric() && !x.is_ascii_lowercase())
+        && b[2..5]
+            .iter()
+            .all(|x| x.is_ascii_alphanumeric() && !x.is_ascii_lowercase())
         && b[5..7].iter().all(|x| x.is_ascii_digit())
         && b[7..].iter().all(|x| x.is_ascii_digit())
 }
@@ -473,9 +487,7 @@ fn v_apa(s: &str) -> bool {
         return false;
     }
     let year = &s[open + 1..open + 5];
-    s.contains(", ")
-        && year.bytes().all(|b| b.is_ascii_digit())
-        && s[close..].contains('.')
+    s.contains(", ") && year.bytes().all(|b| b.is_ascii_digit()) && s[close..].contains('.')
 }
 
 fn g_apa(rng: &mut StdRng) -> String {
@@ -504,7 +516,11 @@ fn v_nbn(s: &str) -> bool {
 
 fn g_nbn(rng: &mut StdRng) -> String {
     let country = gen::pick(rng, gen::COUNTRY_CODES_2).to_lowercase();
-    format!("urn:nbn:{country}:{}-{}", gen::lower(rng, 3), gen::digits(rng, 7))
+    format!(
+        "urn:nbn:{country}:{}-{}",
+        gen::lower(rng, 3),
+        gen::digits(rng, 7)
+    )
 }
 
 fn v_ettn(s: &str) -> bool {
@@ -559,7 +575,12 @@ mod tests {
 
     #[test]
     fn bibcode_shape() {
-        assert!(v_bibcode("2018ApJ...859...101Z".get(..19).map(|_| "2018ApJ...859.0101Z").unwrap()));
+        assert!(v_bibcode(
+            "2018ApJ...859...101Z"
+                .get(..19)
+                .map(|_| "2018ApJ...859.0101Z")
+                .unwrap()
+        ));
         assert!(!v_bibcode("1700ApJ...859.0101Z"));
     }
 

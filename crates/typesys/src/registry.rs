@@ -252,11 +252,7 @@ mod tests {
     #[test]
     fn validators_reject_clearly_wrong_inputs() {
         for t in registry() {
-            assert!(
-                !(t.validate)(""),
-                "{} accepts the empty string",
-                t.name
-            );
+            assert!(!(t.validate)(""), "{} accepts the empty string", t.name);
         }
     }
 
@@ -265,8 +261,7 @@ mod tests {
         // The keyword-sensitivity experiment (Fig. 12 / Table 4) needs at
         // least 3 keywords for these 10 types.
         for slug in [
-            "isbn", "ipv4", "swift", "zipcode", "sedol", "isin", "vin", "rgbcolor", "fasta",
-            "doi",
+            "isbn", "ipv4", "swift", "zipcode", "sedol", "isin", "vin", "rgbcolor", "fasta", "doi",
         ] {
             let t = by_slug(slug).unwrap_or_else(|| panic!("missing {slug}"));
             assert!(

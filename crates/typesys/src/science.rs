@@ -171,9 +171,7 @@ fn v_smiles(s: &str) -> bool {
     }
     let mut paren = 0i32;
     let mut bracket = 0i32;
-    let allowed = |c: char| {
-        c.is_ascii_alphanumeric() || "()[]=#@+-/\\%.".contains(c)
-    };
+    let allowed = |c: char| c.is_ascii_alphanumeric() || "()[]=#@+-/\\%.".contains(c);
     for c in s.chars() {
         if !allowed(c) {
             return false;
@@ -227,7 +225,10 @@ fn g_smiles(rng: &mut StdRng) -> String {
 // --- InChI ----------------------------------------------------------------
 
 fn v_inchi(s: &str) -> bool {
-    let Some(rest) = s.strip_prefix("InChI=1S/").or_else(|| s.strip_prefix("InChI=1/")) else {
+    let Some(rest) = s
+        .strip_prefix("InChI=1S/")
+        .or_else(|| s.strip_prefix("InChI=1/"))
+    else {
         return false;
     };
     let mut layers = rest.split('/');
@@ -256,7 +257,10 @@ fn v_cas(s: &str) -> bool {
     if !(2..=7).contains(&a.len()) || b.len() != 2 || c.len() != 1 {
         return false;
     }
-    if ![a, b, c].iter().all(|p| p.bytes().all(|x| x.is_ascii_digit())) {
+    if ![a, b, c]
+        .iter()
+        .all(|p| p.bytes().all(|x| x.is_ascii_digit()))
+    {
         return false;
     }
     let digits: Vec<u32> = a
@@ -274,7 +278,10 @@ fn v_cas(s: &str) -> bool {
 }
 
 fn g_cas(rng: &mut StdRng) -> String {
-    let a = { let n = rng.gen_range(2..=7); gen::digits_nz(rng, n) };
+    let a = {
+        let n = rng.gen_range(2..=7);
+        gen::digits_nz(rng, n)
+    };
     let b = gen::digits(rng, 2);
     let digits: Vec<u32> = a
         .bytes()
@@ -322,7 +329,10 @@ fn g_fasta(rng: &mut StdRng) -> String {
     let mut out = id;
     for _ in 0..lines {
         out.push('\n');
-        out.push_str(&{ let n = rng.gen_range(20..60); gen::from_alphabet(rng, "ACGT", n) });
+        out.push_str(&{
+            let n = rng.gen_range(20..60);
+            gen::from_alphabet(rng, "ACGT", n)
+        });
     }
     out
 }
@@ -384,8 +394,21 @@ pub(crate) fn v_chem_formula(s: &str) -> bool {
 
 pub(crate) fn g_chem_formula(rng: &mut StdRng) -> String {
     const POOL: &[&str] = &[
-        "H2O", "CO2", "C6H12O6", "NaCl", "H2SO4", "CaCO3", "C2H5OH", "NH3", "CH4", "C8H10N4O2",
-        "C9H8O4", "KMnO4", "Fe2O3", "MgSO4", "C6H6",
+        "H2O",
+        "CO2",
+        "C6H12O6",
+        "NaCl",
+        "H2SO4",
+        "CaCO3",
+        "C2H5OH",
+        "NH3",
+        "CH4",
+        "C8H10N4O2",
+        "C9H8O4",
+        "KMnO4",
+        "Fe2O3",
+        "MgSO4",
+        "C6H6",
     ];
     if rng.gen_bool(0.6) {
         gen::pick(rng, POOL).to_string()
@@ -458,7 +481,10 @@ fn v_lsid(s: &str) -> bool {
 }
 
 fn g_lsid(rng: &mut StdRng) -> String {
-    let auth = gen::pick(rng, &["ncbi.nlm.nih.gov", "ebi.ac.uk", "ipni.org", "zoobank.org"]);
+    let auth = gen::pick(
+        rng,
+        &["ncbi.nlm.nih.gov", "ebi.ac.uk", "ipni.org", "zoobank.org"],
+    );
     let ns = gen::pick(rng, &["genbank", "protein", "names", "act"]);
     format!("urn:lsid:{auth}:{ns}:{}", gen::digits(rng, 6))
 }
@@ -484,7 +510,11 @@ fn g_iupac(rng: &mut StdRng) -> String {
     if suffix == "e" {
         format!("{stem}e")
     } else if rng.gen_bool(0.5) {
-        format!("{}-methyl{stem}-{}-{suffix}", rng.gen_range(2..4), rng.gen_range(1..3))
+        format!(
+            "{}-methyl{stem}-{}-{suffix}",
+            rng.gen_range(2..4),
+            rng.gen_range(1..3)
+        )
     } else {
         format!("{stem}-{}-{suffix}", rng.gen_range(1..3))
     }
@@ -528,7 +558,12 @@ fn v_atc(s: &str) -> bool {
 }
 
 fn g_atc(rng: &mut StdRng) -> String {
-    let group = gen::pick(rng, &["A", "B", "C", "D", "G", "H", "J", "L", "M", "N", "P", "R", "S", "V"]);
+    let group = gen::pick(
+        rng,
+        &[
+            "A", "B", "C", "D", "G", "H", "J", "L", "M", "N", "P", "R", "S", "V",
+        ],
+    );
     format!(
         "{group}{}{}{}",
         gen::digits(rng, 2),
@@ -539,12 +574,20 @@ fn g_atc(rng: &mut StdRng) -> String {
 
 fn v_snpid(s: &str) -> bool {
     s.strip_prefix("rs")
-        .map(|d| !d.is_empty() && d.len() <= 10 && d.bytes().all(|b| b.is_ascii_digit()) && !d.starts_with('0'))
+        .map(|d| {
+            !d.is_empty()
+                && d.len() <= 10
+                && d.bytes().all(|b| b.is_ascii_digit())
+                && !d.starts_with('0')
+        })
         .unwrap_or(false)
 }
 
 fn g_snpid(rng: &mut StdRng) -> String {
-    format!("rs{}", { let n = rng.gen_range(3..9); gen::digits_nz(rng, n) })
+    format!("rs{}", {
+        let n = rng.gen_range(3..9);
+        gen::digits_nz(rng, n)
+    })
 }
 
 fn v_iczn(s: &str) -> bool {
@@ -563,12 +606,28 @@ fn v_iczn(s: &str) -> bool {
 
 fn g_iczn(rng: &mut StdRng) -> String {
     const GENERA: &[&str] = &[
-        "Homo", "Panthera", "Canis", "Felis", "Ursus", "Equus", "Drosophila", "Escherichia",
-        "Apis", "Danio",
+        "Homo",
+        "Panthera",
+        "Canis",
+        "Felis",
+        "Ursus",
+        "Equus",
+        "Drosophila",
+        "Escherichia",
+        "Apis",
+        "Danio",
     ];
     const SPECIES: &[&str] = &[
-        "sapiens", "leo", "lupus", "catus", "arctos", "caballus", "melanogaster", "coli",
-        "mellifera", "rerio",
+        "sapiens",
+        "leo",
+        "lupus",
+        "catus",
+        "arctos",
+        "caballus",
+        "melanogaster",
+        "coli",
+        "mellifera",
+        "rerio",
     ];
     let g = gen::pick(rng, GENERA);
     let s = gen::pick(rng, SPECIES);

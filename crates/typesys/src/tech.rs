@@ -167,7 +167,10 @@ pub(crate) fn v_ipv6(s: &str) -> bool {
             tail.split(':').collect()
         };
         head_groups.len() + tail_groups.len() <= 7
-            && head_groups.iter().chain(tail_groups.iter()).all(|g| valid_group(g))
+            && head_groups
+                .iter()
+                .chain(tail_groups.iter())
+                .all(|g| valid_group(g))
     } else {
         let groups: Vec<&str> = s.split(':').collect();
         groups.len() == 8 && groups.iter().all(|g| valid_group(g))
@@ -177,16 +180,25 @@ pub(crate) fn v_ipv6(s: &str) -> bool {
 pub(crate) fn g_ipv6(rng: &mut StdRng) -> String {
     if rng.gen_bool(0.8) {
         let groups: Vec<String> = (0..8)
-            .map(|_| { let n = rng.gen_range(1..=4); gen::hex(rng, n) })
+            .map(|_| {
+                let n = rng.gen_range(1..=4);
+                gen::hex(rng, n)
+            })
             .collect();
         groups.join(":")
     } else {
         // Compressed form.
         let head: Vec<String> = (0..rng.gen_range(1..4))
-            .map(|_| { let n = rng.gen_range(1..=4); gen::hex(rng, n) })
+            .map(|_| {
+                let n = rng.gen_range(1..=4);
+                gen::hex(rng, n)
+            })
             .collect();
         let tail: Vec<String> = (0..rng.gen_range(1..4))
-            .map(|_| { let n = rng.gen_range(1..=4); gen::hex(rng, n) })
+            .map(|_| {
+                let n = rng.gen_range(1..=4);
+                gen::hex(rng, n)
+            })
             .collect();
         format!("{}::{}", head.join(":"), tail.join(":"))
     }
@@ -205,10 +217,7 @@ pub(crate) fn v_url(s: &str) -> bool {
         return false;
     }
     host.split('.').all(|label| {
-        !label.is_empty()
-            && label
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '-')
+        !label.is_empty() && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
     }) && s.chars().all(|c| c.is_ascii_graphic())
 }
 
@@ -216,7 +225,10 @@ pub(crate) fn g_url(rng: &mut StdRng) -> String {
     let scheme = if rng.gen_bool(0.7) { "https" } else { "http" };
     let host = format!(
         "{}.{}",
-        { let n = rng.gen_range(3..10); gen::lower(rng, n) },
+        {
+            let n = rng.gen_range(3..10);
+            gen::lower(rng, n)
+        },
         gen::pick(rng, &["com", "org", "net", "io", "edu"])
     );
     let www = if rng.gen_bool(0.4) { "www." } else { "" };
@@ -315,7 +327,10 @@ fn nmea_checksum(payload: &str) -> u8 {
 }
 
 fn v_ais(s: &str) -> bool {
-    let Some(rest) = s.strip_prefix("!AIVDM,").or_else(|| s.strip_prefix("!AIVDO,")) else {
+    let Some(rest) = s
+        .strip_prefix("!AIVDM,")
+        .or_else(|| s.strip_prefix("!AIVDO,"))
+    else {
         return false;
     };
     let Some((payload, check)) = s[1..].rsplit_once('*') else {
@@ -332,7 +347,11 @@ fn g_ais(rng: &mut StdRng) -> String {
     let body = format!(
         "AIVDM,1,1,,{},{},0",
         gen::pick(rng, &["A", "B"]),
-        gen::from_alphabet(rng, "0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVW`abcdefghijklmnopqrstuvw", 28)
+        gen::from_alphabet(
+            rng,
+            "0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVW`abcdefghijklmnopqrstuvw",
+            28
+        )
     );
     format!("!{body}*{:02X}", nmea_checksum(&body))
 }
@@ -354,8 +373,18 @@ fn v_nmea(s: &str) -> bool {
 
 fn g_nmea(rng: &mut StdRng) -> String {
     let talker = gen::pick(rng, &["GPGGA", "GPRMC", "GPGSV", "GPGLL"]);
-    let lat = format!("{:02}{:02}.{}", rng.gen_range(0..90), rng.gen_range(0..60), gen::digits(rng, 3));
-    let lon = format!("{:03}{:02}.{}", rng.gen_range(0..180), rng.gen_range(0..60), gen::digits(rng, 3));
+    let lat = format!(
+        "{:02}{:02}.{}",
+        rng.gen_range(0..90),
+        rng.gen_range(0..60),
+        gen::digits(rng, 3)
+    );
+    let lon = format!(
+        "{:03}{:02}.{}",
+        rng.gen_range(0..180),
+        rng.gen_range(0..60),
+        gen::digits(rng, 3)
+    );
     let body = format!(
         "{talker},{:02}{:02}{:02},{lat},N,{lon},W,1,08,0.9,545.4,M,46.9,M,,",
         rng.gen_range(0..24),

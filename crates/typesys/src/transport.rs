@@ -74,7 +74,9 @@ fn v_uic(s: &str) -> bool {
     if compact.len() != 12 {
         return false;
     }
-    if s.chars().any(|c| !c.is_ascii_digit() && c != ' ' && c != '-') {
+    if s.chars()
+        .any(|c| !c.is_ascii_digit() && c != ' ' && c != '-')
+    {
         return false;
     }
     ck::luhn_valid(&compact)

@@ -17,7 +17,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let engine = AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default());
+    let engine = AutoType::new(
+        build_corpus(&CorpusConfig::default()),
+        AutoTypeConfig::default(),
+    );
     let mut rng = StdRng::seed_from_u64(7);
 
     // Synthesize a detector for each type of interest.
@@ -29,7 +32,11 @@ fn main() {
         let mut session = engine
             .session(ty.keyword(), &positives, NegativeMode::Hierarchy, &mut rng)
             .expect("session");
-        let top = session.rank(Method::DnfS).into_iter().next().expect("ranked");
+        let top = session
+            .rank(Method::DnfS)
+            .into_iter()
+            .next()
+            .expect("ranked");
         println!("{slug}: synthesized from {}", top.label);
         synthesized.push((slug, session, top));
     }
@@ -44,7 +51,11 @@ fn main() {
         },
         &mut rng,
     );
-    println!("\nannotating {} columns (>{:.0}% of values must pass):", columns.len(), VALUE_THRESHOLD * 100.0);
+    println!(
+        "\nannotating {} columns (>{:.0}% of values must pass):",
+        columns.len(),
+        VALUE_THRESHOLD * 100.0
+    );
 
     // Batch the whole column × detector matrix through the engine's exec
     // pool: each synthesized validator becomes a thread-safe batch handle,
@@ -80,5 +91,8 @@ fn main() {
             column.values.first().unwrap()
         );
     }
-    println!("\n{} columns annotated with rich semantic types", detections.len());
+    println!(
+        "\n{} columns annotated with rich semantic types",
+        detections.len()
+    );
 }

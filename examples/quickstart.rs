@@ -62,10 +62,10 @@ fn main() {
     let top = ranked[0].clone();
     println!("\nvalidating fresh values with the synthesized function:");
     for value in [
-        "4147202263232835",  // valid Visa (paper Figure 6)
-        "371449635398431",   // valid Amex
-        "4147202263232836",  // checksum broken
-        "1234567890123456",  // no brand, bad checksum
+        "4147202263232835", // valid Visa (paper Figure 6)
+        "371449635398431",  // valid Amex
+        "4147202263232836", // checksum broken
+        "1234567890123456", // no brand, bad checksum
         "hello world",
     ] {
         println!("  {value:<20} -> {}", session.validate(&top, value));

@@ -15,7 +15,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let engine = AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default());
+    let engine = AutoType::new(
+        build_corpus(&CorpusConfig::default()),
+        AutoTypeConfig::default(),
+    );
     let mut rng = StdRng::seed_from_u64(99);
 
     for slug in ["creditcard", "iban", "datetime", "url", "vin"] {
@@ -38,13 +41,7 @@ fn main() {
                 if !shown.insert(t.name.clone()) {
                     continue;
                 }
-                let preview: Vec<String> = t
-                    .values
-                    .iter()
-                    .flatten()
-                    .take(3)
-                    .cloned()
-                    .collect();
+                let preview: Vec<String> = t.values.iter().flatten().take(3).cloned().collect();
                 println!(
                     "  {:<28} ({} distinct)  e.g. {}",
                     t.name,

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Full verification gate: release build, tier-1 tests, the complete
-# workspace test suite (including the vendored stub crates), and a
-# warnings-as-errors clippy pass.
+# Full verification gate: formatting, release build, tier-1 tests, the
+# complete workspace test suite (including the vendored stub crates),
+# and a warnings-as-errors clippy pass.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
 
 echo "== cargo build --release =="
 cargo build --release

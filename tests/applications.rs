@@ -11,7 +11,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn engine() -> AutoType {
-    AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default())
+    AutoType::new(
+        build_corpus(&CorpusConfig::default()),
+        AutoTypeConfig::default(),
+    )
 }
 
 /// The "SWIFT" ambiguity (Figure 12): the bare keyword retrieves the

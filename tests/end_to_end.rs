@@ -10,7 +10,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn engine() -> AutoType {
-    AutoType::new(build_corpus(&CorpusConfig::default()), AutoTypeConfig::default())
+    AutoType::new(
+        build_corpus(&CorpusConfig::default()),
+        AutoTypeConfig::default(),
+    )
 }
 
 fn positives(slug: &str, n: usize, seed: u64) -> Vec<String> {
@@ -126,11 +129,15 @@ fn invocation_variants_are_all_discovered() {
     let ranked = session.rank(Method::DnfS);
     let labels: Vec<&str> = ranked.iter().map(|f| f.label.as_str()).collect();
     // At least a plain function and one wrapped variant must rank.
-    assert!(labels.iter().any(|l| l.contains("is_valid_card")), "{labels:?}");
     assert!(
-        labels
-            .iter()
-            .any(|l| l.contains("main_from") || l.contains("Checker") || l.contains("Validator") || l.contains("script")),
+        labels.iter().any(|l| l.contains("is_valid_card")),
+        "{labels:?}"
+    );
+    assert!(
+        labels.iter().any(|l| l.contains("main_from")
+            || l.contains("Checker")
+            || l.contains("Validator")
+            || l.contains("script")),
         "{labels:?}"
     );
 }
@@ -170,7 +177,11 @@ fn pipeline_is_deterministic() {
         let mut session = engine
             .session("US zipcode", &pos, NegativeMode::Hierarchy, &mut rng)
             .unwrap();
-        session.rank(Method::DnfS).iter().map(|f| f.label.clone()).collect()
+        session
+            .rank(Method::DnfS)
+            .iter()
+            .map(|f| f.label.clone())
+            .collect()
     };
     assert_eq!(labels(5), labels(5));
 }
