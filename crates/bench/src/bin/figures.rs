@@ -382,6 +382,66 @@ fn bench_json() {
         per_value(cached_batch_ms),
         hit_rate
     );
+    let executors_reused = autotype_serve::Metrics::read(&runtime.metrics().executors_reused);
+    let executors_cloned = autotype_serve::Metrics::read(&runtime.metrics().executors_cloned);
+
+    // --- Serve throughput: lazy vs eager probe counts, keep-alive vs
+    // per-request connections. Fresh runtimes so caches start cold and
+    // the probe counts are comparable.
+    println!("== bench-json: serve throughput (lazy scheduling + keep-alive) ==");
+    let lazy_rt = autotype_serve::DetectorRuntime::load_dir(&pack_dir, serve_workers, 65_536)
+        .expect("lazy runtime");
+    lazy_rt.detect_batch(&batch);
+    let lazy_probes = autotype_serve::Metrics::read(&lazy_rt.metrics().cache_misses);
+    let probes_saved = autotype_serve::Metrics::read(&lazy_rt.metrics().probes_saved);
+    let eager_rt = autotype_serve::DetectorRuntime::load_dir(&pack_dir, serve_workers, 65_536)
+        .expect("eager runtime");
+    eager_rt.detect_batch_eager(&batch);
+    let eager_probes = autotype_serve::Metrics::read(&eager_rt.metrics().cache_misses);
+    println!(
+        "serve: probes issued  lazy {lazy_probes}  eager {eager_probes}  saved {probes_saved}"
+    );
+    assert!(
+        lazy_probes <= eager_probes,
+        "lazy scheduling must not issue more probes than the eager matrix"
+    );
+
+    let http_rt = std::sync::Arc::new(
+        autotype_serve::DetectorRuntime::load_dir(&pack_dir, serve_workers, 65_536)
+            .expect("http runtime"),
+    );
+    let handle = autotype_serve::serve(
+        http_rt,
+        autotype_serve::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..autotype_serve::ServerConfig::default()
+        },
+    )
+    .expect("bind bench server");
+    let addr = handle.addr();
+    let body = format!("{{\"value\":\"{}\"}}", batch[0]);
+    const HTTP_REQUESTS: usize = 64;
+    // Warm the verdict cache so both runs measure HTTP overhead, not
+    // first-probe interpreter time.
+    http_request_close(addr, &body);
+
+    let t = std::time::Instant::now();
+    http_requests_keepalive(addr, &body, HTTP_REQUESTS);
+    let keepalive_ms = ms(t);
+    let t = std::time::Instant::now();
+    for _ in 0..HTTP_REQUESTS {
+        http_request_close(addr, &body);
+    }
+    let close_ms = ms(t);
+    handle.shutdown();
+    let req_per_s = |total_ms: f64| HTTP_REQUESTS as f64 / (total_ms / 1e3);
+    println!(
+        "serve: {HTTP_REQUESTS} requests  keep-alive {:>8.3} ms ({:>8.0} req/s)  close {:>8.3} ms ({:>8.0} req/s)",
+        keepalive_ms,
+        req_per_s(keepalive_ms),
+        close_ms,
+        req_per_s(close_ms)
+    );
     std::fs::remove_dir_all(&pack_dir).ok();
 
     let mut out = String::from(
@@ -430,7 +490,7 @@ fn bench_json() {
         ));
     }
     out.push_str(&format!(
-        "  ],\n  \"serve_summary\": {{\"packs\": {}, \"workers\": {}, \"batch_values\": {}, \"uncached_batch_ms\": {:.3}, \"uncached_us_per_value\": {:.1}, \"cached_batch_ms\": {:.3}, \"cached_us_per_value\": {:.1}, \"cache_hit_rate\": {:.4}}}\n",
+        "  ],\n  \"serve_summary\": {{\"packs\": {}, \"workers\": {}, \"batch_values\": {}, \"uncached_batch_ms\": {:.3}, \"uncached_us_per_value\": {:.1}, \"cached_batch_ms\": {:.3}, \"cached_us_per_value\": {:.1}, \"cache_hit_rate\": {:.4}, \"executors_reused\": {executors_reused}, \"executors_cloned\": {executors_cloned}}},\n",
         serve_rows.len(),
         serve_workers,
         batch.len(),
@@ -440,6 +500,14 @@ fn bench_json() {
         per_value(cached_batch_ms),
         hit_rate
     ));
+    out.push_str(&format!(
+        "  \"serve_throughput\": {{\"requests\": {HTTP_REQUESTS}, \"keepalive_ms\": {:.3}, \"keepalive_req_per_s\": {:.0}, \"close_ms\": {:.3}, \"close_req_per_s\": {:.0}, \"lazy_probes\": {lazy_probes}, \"eager_probes\": {eager_probes}, \"probes_saved\": {probes_saved}, \"uncached_us_per_value\": {:.1}}}\n",
+        keepalive_ms,
+        req_per_s(keepalive_ms),
+        close_ms,
+        req_per_s(close_ms),
+        per_value(uncached_batch_ms)
+    ));
     out.push_str("}\n");
     std::fs::write("BENCH_pipeline.json", &out).expect("write BENCH_pipeline.json");
     println!(
@@ -448,4 +516,54 @@ fn bench_json() {
         detection_rows.len(),
         serve_rows.len()
     );
+}
+
+/// One `POST /detect` with `Connection: close`, reading to EOF.
+fn http_request_close(addr: std::net::SocketAddr, body: &str) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let request = format!(
+        "POST /detect HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+}
+
+/// `n` `POST /detect` requests pipelined serially over one persistent
+/// connection, each response framed by Content-Length.
+fn http_requests_keepalive(addr: std::net::SocketAddr, body: &str, n: usize) {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let request = format!(
+        "POST /detect HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    for _ in 0..n {
+        stream.write_all(request.as_bytes()).expect("write");
+        let mut status = String::new();
+        reader.read_line(&mut status).expect("status");
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).expect("header");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("length");
+                }
+            }
+        }
+        let mut resp = vec![0u8; content_length];
+        reader.read_exact(&mut resp).expect("body");
+    }
 }

@@ -146,6 +146,31 @@ impl Executor {
         &self.program
     }
 
+    /// The per-run fuel budget this executor charges each probe.
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Override the per-run fuel budget (per-request fuel ceilings on the
+    /// serve path). Lowering fuel can only change a verdict by exhausting
+    /// earlier; it never changes which sites a completed run visits.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Roll the executor back to a snapshot taken before one or more runs:
+    /// a run only ever mutates an executor by *appending* dynamically
+    /// installed package files (and bumping `installs`), so truncating the
+    /// file list restores the exact pre-run program — every original file
+    /// id, and therefore every trace `SiteId`, is untouched. This is what
+    /// lets a long-lived prober reuse one executor across probes instead of
+    /// cloning per probe: reset, run, reset, run.
+    pub fn reset_snapshot(&mut self, files: usize, installs: usize) {
+        debug_assert!(files <= self.program.files.len());
+        self.program.files.truncate(files);
+        self.installs = installs;
+    }
+
     /// Whether no run of any candidate can ever mutate this executor by
     /// dynamically installing a package — i.e. every `import` appearing
     /// anywhere in the program (including inside function bodies) is either

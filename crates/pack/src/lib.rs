@@ -536,6 +536,44 @@ impl PackValidator {
         (self.validator.accepts(&trace), fuel)
     }
 
+    /// The per-probe fuel budget baked into the pack at export time.
+    pub fn fuel_budget(&self) -> u64 {
+        self.exec.fuel()
+    }
+
+    /// A reusable probe slot for this validator: one executor clone that
+    /// [`accepts_with_fuel_in`](Self::accepts_with_fuel_in) resets after
+    /// every probe instead of recloning. A worker that holds a slot pays
+    /// the snapshot clone once per lease, not once per probe.
+    pub fn probe_executor(&self) -> ProbeExecutor {
+        ProbeExecutor {
+            exec: self.exec.clone(),
+            base_files: self.exec.program().files.len(),
+            base_installs: self.exec.installs,
+        }
+    }
+
+    /// [`accepts_with_fuel`](Self::accepts_with_fuel) through a reusable
+    /// [`ProbeExecutor`] and an optional per-probe fuel ceiling (clamped to
+    /// the pack's own budget). The slot is rolled back to the pack snapshot
+    /// after the run — dynamic installs are undone, the fuel budget is
+    /// restored — so every probe still sees the exact rehydrated state and
+    /// verdicts stay bit-identical to the clone-per-probe path.
+    pub fn accepts_with_fuel_in(
+        &self,
+        slot: &mut ProbeExecutor,
+        input: &str,
+        max_fuel: Option<u64>,
+    ) -> (bool, u64) {
+        let budget = self.exec.fuel();
+        slot.exec
+            .set_fuel(max_fuel.map_or(budget, |cap| cap.min(budget)));
+        let (trace, fuel) = probe_trace(&mut slot.exec, &self.candidate, input, &self.packages);
+        slot.exec
+            .reset_snapshot(slot.base_files, slot.base_installs);
+        (self.validator.accepts(&trace), fuel)
+    }
+
     /// The featurized probe trace for one input (with the synthetic
     /// black-box literal), without touching the fuel counter.
     pub fn trace(&self, input: &str) -> (BTreeSet<Literal>, u64) {
@@ -552,6 +590,16 @@ impl PackValidator {
     pub fn take_fuel(&self) -> u64 {
         self.fuel.swap(0, Ordering::Relaxed)
     }
+}
+
+/// A leased, reusable probe executor (see
+/// [`PackValidator::probe_executor`]): the snapshot clone plus the rollback
+/// point [`PackValidator::accepts_with_fuel_in`] restores after each run.
+#[derive(Debug)]
+pub struct ProbeExecutor {
+    exec: Executor,
+    base_files: usize,
+    base_installs: usize,
 }
 
 /// Convenience: load a pack file and rehydrate its validator in one step.
@@ -675,6 +723,64 @@ mod tests {
         let mut bytes = sample_pack().to_bytes();
         bytes.push(0);
         assert!(Pack::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn reused_executor_matches_clone_per_probe() {
+        let v = sample_pack().validator().expect("validator");
+        let mut slot = v.probe_executor();
+        for input in ["abcd", "", "abc", "x", "abcdef", "odd"] {
+            let (cloned, cloned_fuel) = v.accepts_with_fuel(input);
+            let (reused, reused_fuel) = v.accepts_with_fuel_in(&mut slot, input, None);
+            assert_eq!(reused, cloned, "verdict drift on {input:?}");
+            assert_eq!(reused_fuel, cloned_fuel, "fuel drift on {input:?}");
+        }
+    }
+
+    #[test]
+    fn reused_executor_rolls_back_dynamic_installs() {
+        // The candidate imports `latelib` inside its body: invisible until
+        // run time, so every probe triggers the dynamic install loop. The
+        // reused slot must roll the install back after each probe and still
+        // answer identically to a fresh clone.
+        let source = "def f(s):\n    import latelib\n    if latelib.short(s):\n        return True\n    return False\n";
+        let pack = Pack {
+            files: vec![("mod".into(), source.into())],
+            packages: vec![(
+                "latelib".into(),
+                "def short(s):\n    if len(s) < 3:\n        return True\n    return False\n".into(),
+            )],
+            entry: EntryPoint::Function { name: "f".into() },
+            ..sample_pack()
+        };
+        let v = pack.validator().expect("validator");
+        let mut slot = v.probe_executor();
+        for input in ["ab", "abcd", "", "abc"] {
+            let (cloned, cloned_fuel) = v.accepts_with_fuel(input);
+            let (reused, reused_fuel) = v.accepts_with_fuel_in(&mut slot, input, None);
+            assert_eq!(reused, cloned, "verdict drift on {input:?}");
+            assert_eq!(reused_fuel, cloned_fuel, "fuel drift on {input:?}");
+        }
+    }
+
+    #[test]
+    fn fuel_ceiling_clamps_to_pack_budget_and_caps_runs() {
+        let v = sample_pack().validator().expect("validator");
+        assert_eq!(v.fuel_budget(), 10_000);
+        let mut slot = v.probe_executor();
+        // A cap above the budget clamps down to the budget: same verdict,
+        // same fuel as the uncapped probe.
+        let uncapped = v.accepts_with_fuel_in(&mut slot, "abcd", None);
+        assert_eq!(
+            v.accepts_with_fuel_in(&mut slot, "abcd", Some(u64::MAX)),
+            uncapped
+        );
+        // A starvation cap exhausts fuel: the probe cannot accept and burns
+        // at most the cap. The cap must not leak into later probes.
+        let (verdict, fuel) = v.accepts_with_fuel_in(&mut slot, "abcd", Some(1));
+        assert!(!verdict, "starved probe cannot accept");
+        assert!(fuel <= 1, "burned {fuel} with cap 1");
+        assert_eq!(v.accepts_with_fuel_in(&mut slot, "abcd", None), uncapped);
     }
 
     #[test]

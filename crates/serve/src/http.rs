@@ -1,5 +1,5 @@
-//! A deliberately small HTTP/1.1 server over `std::net`, thread-per-
-//! connection, `Connection: close` on every response.
+//! A deliberately small HTTP/1.1 server over `std::net` with persistent
+//! connections and a bounded handler pool.
 //!
 //! Routes:
 //!
@@ -7,18 +7,44 @@
 //! |--------|-------------------|---------------------------|----------|
 //! | POST   | `/detect`         | `{"value":"…"}` or `{"values":["…",…]}` | per-value verdicts |
 //! | POST   | `/detect/column`  | `{"values":["…",…]}`      | whole-column verdict |
+//! | POST   | `/detect/table`   | `{"columns":[["…",…],…]}` | one verdict per column |
 //! | GET    | `/healthz`        | —                         | liveness + pack count |
 //! | GET    | `/metrics`        | —                         | Prometheus text |
 //!
+//! Every `/detect*` body also accepts an optional `"max_fuel"` number: a
+//! per-request interpreter fuel ceiling, clamped per pack to
+//! `min(max_fuel, pack.fuel)`. Non-positive values are rejected with 400.
+//!
+//! ## Connection lifecycle
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive): the handler loops
+//! read-request → write-response on one socket until the client sends
+//! `Connection: close`, goes quiet past the idle timeout, or closes. The
+//! `Connection` header is honored in both directions — HTTP/1.1 defaults
+//! to keep-alive, HTTP/1.0 must opt in with `Connection: keep-alive`.
+//! Error responses always close (after a parse failure the request
+//! framing is unknowable, so the socket cannot be trusted for another
+//! round). An idle timeout with *zero* bytes read closes silently — that
+//! is a client choosing not to reuse the connection, not an error — while
+//! a timeout mid-request earns a 408.
+//!
+//! ## Bounded acceptor pool
+//!
+//! Accepted sockets flow through a bounded channel to a fixed pool of
+//! `max_connections` handler threads; when every handler is busy and the
+//! backlog is full, the acceptor sheds the connection inline with a 503
+//! (`autotype_connections_shed_total`) instead of spawning without bound.
 //! Request limits (body size, value count, read timeout) are enforced
 //! before any detection work runs; violations produce 4xx responses with a
 //! JSON error body. Graceful shutdown: a stop flag, a self-connect to
-//! unblock `accept`, and a bounded wait for in-flight connections.
+//! unblock `accept`, sender drop to retire idle handlers, and a bounded
+//! wait for in-flight connections.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::json::{self, Json};
@@ -32,10 +58,19 @@ pub struct ServerConfig {
     pub addr: String,
     /// Maximum request body size in bytes.
     pub max_body: usize,
-    /// Maximum number of values in one batch/column request.
+    /// Maximum number of values in one batch/column/table request.
     pub max_values: usize,
-    /// Per-connection socket read timeout.
+    /// Socket read timeout while inside a request (headers/body).
     pub read_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Handler pool size: connections served concurrently.
+    pub max_connections: usize,
+    /// Accepted-but-unclaimed connections queued for the pool; beyond
+    /// this the acceptor sheds with 503. `0` means rendezvous — a
+    /// connection is accepted only if a handler is already waiting.
+    pub accept_backlog: usize,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +80,9 @@ impl Default for ServerConfig {
             max_body: 1 << 20,
             max_values: 10_000,
             read_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(5),
+            max_connections: 64,
+            accept_backlog: 64,
         }
     }
 }
@@ -65,7 +103,8 @@ impl ServerHandle {
     }
 
     /// Stop accepting, wake the accept loop, and wait (bounded) for
-    /// in-flight connections to drain.
+    /// in-flight connections to drain. Handler threads exit on their own
+    /// once the acceptor drops the channel sender.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept() call with a throwaway connection.
@@ -73,7 +112,7 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // Connections already handed to worker threads get a grace period.
+        // Connections already handed to handler threads get a grace period.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while self.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
@@ -89,23 +128,49 @@ pub fn serve(runtime: Arc<DetectorRuntime>, config: ServerConfig) -> std::io::Re
     let stop = Arc::new(AtomicBool::new(false));
     let active = Arc::new(AtomicUsize::new(0));
 
+    let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.accept_backlog);
+    let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::new(Mutex::new(rx));
+    for _ in 0..config.max_connections.max(1) {
+        let rx = rx.clone();
+        let runtime = runtime.clone();
+        let config = config.clone();
+        let active = active.clone();
+        std::thread::spawn(move || loop {
+            // Hold the lock only while claiming the next connection.
+            let conn = rx.lock().unwrap().recv();
+            match conn {
+                Ok(stream) => {
+                    active.fetch_add(1, Ordering::SeqCst);
+                    handle_connection(stream, &runtime, &config);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }
+                // Sender dropped: the acceptor has shut down.
+                Err(_) => break,
+            }
+        });
+    }
+
     let accept_stop = stop.clone();
-    let accept_active = active.clone();
+    let accept_metrics = runtime.clone();
     let accept_thread = std::thread::spawn(move || {
         for conn in listener.incoming() {
             if accept_stop.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = conn else { continue };
-            let runtime = runtime.clone();
-            let config = config.clone();
-            let active = accept_active.clone();
-            active.fetch_add(1, Ordering::SeqCst);
-            std::thread::spawn(move || {
-                handle_connection(stream, &runtime, &config);
-                active.fetch_sub(1, Ordering::SeqCst);
-            });
+            let m = accept_metrics.metrics();
+            Metrics::bump(&m.connections_total);
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(stream)) => {
+                    Metrics::bump(&m.connections_shed);
+                    Metrics::bump(&m.http_errors);
+                    write_response(&stream, &Response::error(503, "server saturated"), false);
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
         }
+        // Dropping `tx` here retires idle handler threads.
     });
 
     Ok(ServerHandle {
@@ -151,65 +216,122 @@ fn status_text(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
+/// Why [`read_request`] produced no request.
+enum ReadHalt {
+    /// Clean end of connection: EOF or idle timeout before any byte of a
+    /// next request arrived. Close without a response.
+    Silent,
+    /// A malformed or timed-out request; answer it, then close.
+    Respond(Response),
+}
+
 fn handle_connection(stream: TcpStream, runtime: &DetectorRuntime, config: &ServerConfig) {
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    // Persistent connections interact badly with Nagle + delayed ACK
+    // (~40 ms stalls per round trip once quickack decays); responses are
+    // single complete writes, so disabling Nagle costs nothing.
+    let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
-    let response = match read_request(&mut reader, config) {
-        Ok((method, path, body)) => route(runtime, &method, &path, &body, config),
-        Err(resp) => resp,
-    };
-    if response.is_error() {
-        Metrics::bump(&runtime.metrics().http_errors);
+    loop {
+        // Between requests the clock is the idle timeout; once the request
+        // line lands, `read_request` switches to the in-request timeout.
+        let _ = stream.set_read_timeout(Some(config.idle_timeout));
+        match read_request(&stream, &mut reader, config) {
+            Ok((method, path, body, client_keep_alive)) => {
+                let response = route(runtime, &method, &path, &body, config);
+                if response.is_error() {
+                    Metrics::bump(&runtime.metrics().http_errors);
+                }
+                Metrics::bump(&runtime.metrics().requests_total);
+                let keep_alive = client_keep_alive && !response.is_error();
+                write_response(&stream, &response, keep_alive);
+                if !keep_alive {
+                    return;
+                }
+            }
+            Err(ReadHalt::Silent) => return,
+            Err(ReadHalt::Respond(response)) => {
+                Metrics::bump(&runtime.metrics().http_errors);
+                Metrics::bump(&runtime.metrics().requests_total);
+                write_response(&stream, &response, false);
+                return;
+            }
+        }
     }
-    Metrics::bump(&runtime.metrics().requests_total);
-    write_response(stream, &response);
 }
 
-/// Parse the request line, headers, and body. Errors come back as ready-
-/// made responses (408 on timeout, 413 over limit, 400 otherwise).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Parse one request: request line, headers, body. Returns the method,
+/// path, body, and whether the client wants the connection kept alive.
 fn read_request(
+    stream: &TcpStream,
     reader: &mut BufReader<TcpStream>,
     config: &ServerConfig,
-) -> Result<(String, String, String), Response> {
+) -> Result<(String, String, String, bool), ReadHalt> {
     let mut line = String::new();
     match reader.read_line(&mut line) {
-        Ok(0) => return Err(Response::error(400, "empty request")),
+        Ok(0) => return Err(ReadHalt::Silent),
         Ok(_) => {}
-        Err(e)
-            if e.kind() == std::io::ErrorKind::WouldBlock
-                || e.kind() == std::io::ErrorKind::TimedOut =>
-        {
-            return Err(Response::error(408, "read timeout"))
+        Err(e) if is_timeout(&e) => {
+            // No bytes yet → the connection idled out; partial line → the
+            // client stalled mid-request.
+            return if line.is_empty() {
+                Err(ReadHalt::Silent)
+            } else {
+                Err(ReadHalt::Respond(Response::error(408, "read timeout")))
+            };
         }
-        Err(_) => return Err(Response::error(400, "unreadable request")),
+        Err(_) => {
+            return Err(ReadHalt::Respond(Response::error(
+                400,
+                "unreadable request",
+            )))
+        }
     }
+    // The request is underway: switch to the (usually longer) in-request
+    // read timeout for headers and body.
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
     let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
     if method.is_empty() || path.is_empty() {
-        return Err(Response::error(400, "malformed request line"));
+        return Err(ReadHalt::Respond(Response::error(
+            400,
+            "malformed request line",
+        )));
     }
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 must opt in.
+    let mut keep_alive = version != "HTTP/1.0";
 
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
         match reader.read_line(&mut header) {
-            Ok(0) => return Err(Response::error(400, "truncated headers")),
+            Ok(0) => return Err(ReadHalt::Respond(Response::error(400, "truncated headers"))),
             Ok(_) => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return Err(Response::error(408, "read timeout"))
+            Err(e) if is_timeout(&e) => {
+                return Err(ReadHalt::Respond(Response::error(408, "read timeout")))
             }
-            Err(_) => return Err(Response::error(400, "unreadable headers")),
+            Err(_) => {
+                return Err(ReadHalt::Respond(Response::error(
+                    400,
+                    "unreadable headers",
+                )))
+            }
         }
         let header = header.trim_end();
         if header.is_empty() {
@@ -220,28 +342,39 @@ fn read_request(
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| Response::error(400, "bad content-length"))?;
+                    .map_err(|_| ReadHalt::Respond(Response::error(400, "bad content-length")))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        keep_alive = false;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        keep_alive = true;
+                    }
+                }
             }
         }
     }
     if content_length > config.max_body {
-        return Err(Response::error(413, "request body too large"));
+        return Err(ReadHalt::Respond(Response::error(
+            413,
+            "request body too large",
+        )));
     }
 
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
         reader.read_exact(&mut body).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::WouldBlock
-                || e.kind() == std::io::ErrorKind::TimedOut
-            {
-                Response::error(408, "read timeout")
+            if is_timeout(&e) {
+                ReadHalt::Respond(Response::error(408, "read timeout"))
             } else {
-                Response::error(400, "truncated body")
+                ReadHalt::Respond(Response::error(400, "truncated body"))
             }
         })?;
     }
-    let body = String::from_utf8(body).map_err(|_| Response::error(400, "body is not UTF-8"))?;
-    Ok((method, path, body))
+    let body = String::from_utf8(body)
+        .map_err(|_| ReadHalt::Respond(Response::error(400, "body is not UTF-8")))?;
+    Ok((method, path, body, keep_alive))
 }
 
 fn route(
@@ -260,6 +393,10 @@ fn route(
         ("POST", "/detect/column") => {
             Metrics::bump(&m.requests_detect_column);
             detect_column_endpoint(runtime, body, config)
+        }
+        ("POST", "/detect/table") => {
+            Metrics::bump(&m.requests_detect_table);
+            detect_table_endpoint(runtime, body, config)
         }
         ("GET", "/healthz") => {
             Metrics::bump(&m.requests_healthz);
@@ -280,17 +417,35 @@ fn route(
                 body: m.render(runtime.cache_entries()),
             }
         }
-        ("POST", "/healthz" | "/metrics") | ("GET", "/detect" | "/detect/column") => {
+        ("POST", "/healthz" | "/metrics")
+        | ("GET", "/detect" | "/detect/column" | "/detect/table") => {
             Response::error(405, "method not allowed")
         }
         _ => Response::error(404, "unknown path"),
     }
 }
 
-/// Pull the value list out of a request body: either `"value": "…"` (a
-/// batch of one) or `"values": ["…", …]`.
-fn parse_values(body: &str, config: &ServerConfig) -> Result<Vec<String>, Response> {
-    let parsed = json::parse(body).map_err(|e| Response::error(400, &format!("bad JSON: {e}")))?;
+/// Extract the optional `"max_fuel"` ceiling from a parsed body. Absent →
+/// `None` (full pack budgets); present it must be a positive number.
+fn parse_max_fuel(parsed: &Json) -> Result<Option<u64>, Response> {
+    match parsed.get("max_fuel") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_number()
+                .ok_or_else(|| Response::error(400, "\"max_fuel\" must be a number"))?;
+            if n <= 0.0 || n.is_nan() {
+                return Err(Response::error(400, "\"max_fuel\" must be positive"));
+            }
+            // Saturating: anything ≥ 2^64 just means "no extra ceiling".
+            Ok(Some(n as u64))
+        }
+    }
+}
+
+/// Pull the value list out of a parsed request body: either `"value": "…"`
+/// (a batch of one) or `"values": ["…", …]`.
+fn parse_values(parsed: &Json, config: &ServerConfig) -> Result<Vec<String>, Response> {
     if let Some(v) = parsed.get("value") {
         let s = v
             .as_str()
@@ -304,12 +459,16 @@ fn parse_values(body: &str, config: &ServerConfig) -> Result<Vec<String>, Respon
     if values.len() > config.max_values {
         return Err(Response::error(413, "too many values"));
     }
-    values
+    string_values(values)
+}
+
+fn string_values(items: &[Json]) -> Result<Vec<String>, Response> {
+    items
         .iter()
         .map(|v| {
             v.as_str()
                 .map(str::to_string)
-                .ok_or_else(|| Response::error(400, "\"values\" must be strings"))
+                .ok_or_else(|| Response::error(400, "values must be strings"))
         })
         .collect()
 }
@@ -333,11 +492,15 @@ fn pack_fields(runtime: &DetectorRuntime, pack: Option<usize>) -> String {
 }
 
 fn detect_endpoint(runtime: &DetectorRuntime, body: &str, config: &ServerConfig) -> Response {
-    let values = match parse_values(body, config) {
-        Ok(v) => v,
-        Err(resp) => return resp,
+    let parsed = match json::parse(body) {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
     };
-    let verdicts = runtime.detect_batch(&values);
+    let (values, max_fuel) = match (parse_values(&parsed, config), parse_max_fuel(&parsed)) {
+        (Ok(v), Ok(f)) => (v, f),
+        (Err(resp), _) | (_, Err(resp)) => return resp,
+    };
+    let verdicts = runtime.detect_batch_with(&values, max_fuel);
     let results: Vec<String> = values
         .iter()
         .zip(&verdicts)
@@ -357,11 +520,15 @@ fn detect_column_endpoint(
     body: &str,
     config: &ServerConfig,
 ) -> Response {
-    let values = match parse_values(body, config) {
-        Ok(v) => v,
-        Err(resp) => return resp,
+    let parsed = match json::parse(body) {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
     };
-    let pack = runtime.detect_column(&values);
+    let (values, max_fuel) = match (parse_values(&parsed, config), parse_max_fuel(&parsed)) {
+        (Ok(v), Ok(f)) => (v, f),
+        (Err(resp), _) | (_, Err(resp)) => return resp,
+    };
+    let pack = runtime.detect_column_with(&values, max_fuel);
     Response::json(
         200,
         format!(
@@ -372,15 +539,62 @@ fn detect_column_endpoint(
     )
 }
 
-fn write_response(mut stream: TcpStream, response: &Response) {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+fn detect_table_endpoint(runtime: &DetectorRuntime, body: &str, config: &ServerConfig) -> Response {
+    let parsed = match json::parse(body) {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+    };
+    let max_fuel = match parse_max_fuel(&parsed) {
+        Ok(f) => f,
+        Err(resp) => return resp,
+    };
+    let raw = match parsed.get("columns").and_then(Json::as_array) {
+        Some(cols) => cols,
+        None => return Response::error(400, "expected \"columns\": [[…], …]"),
+    };
+    let mut columns: Vec<Vec<String>> = Vec::with_capacity(raw.len());
+    let mut total = 0usize;
+    for col in raw {
+        let items = match col.as_array() {
+            Some(items) => items,
+            None => return Response::error(400, "each column must be an array of strings"),
+        };
+        total += items.len();
+        if total > config.max_values {
+            return Response::error(413, "too many values");
+        }
+        match string_values(items) {
+            Ok(v) => columns.push(v),
+            Err(resp) => return resp,
+        }
+    }
+    let verdicts = runtime.detect_table(&columns, max_fuel);
+    let results: Vec<String> = columns
+        .iter()
+        .zip(&verdicts)
+        .map(|(col, pack)| {
+            format!(
+                "{{{},\"values\":{}}}",
+                pack_fields(runtime, *pack),
+                col.len()
+            )
+        })
+        .collect();
+    Response::json(200, format!("{{\"columns\":[{}]}}", results.join(",")))
+}
+
+fn write_response(mut stream: &TcpStream, response: &Response, keep_alive: bool) {
+    // One write_all per response: a single TCP segment where possible, so
+    // Nagle never holds the body back waiting for an ACK of the head.
+    let mut message = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
-        response.body.len()
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(response.body.as_bytes());
+    message.push_str(&response.body);
+    let _ = stream.write_all(message.as_bytes());
     let _ = stream.flush();
 }

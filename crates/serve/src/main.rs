@@ -1,7 +1,8 @@
 //! `autotype-serve` binary: load a pack directory and serve detection.
 //!
 //! ```text
-//! autotype-serve PACK_DIR [--addr HOST:PORT] [--workers N] [--cache N] [--bootstrap]
+//! autotype-serve PACK_DIR [--addr HOST:PORT] [--workers N] [--cache N]
+//!                [--idle-timeout SECS] [--max-conns N] [--bootstrap]
 //! ```
 //!
 //! `--bootstrap` first synthesizes detectors for a few built-in types
@@ -28,17 +29,21 @@ struct Args {
     addr: String,
     workers: usize,
     cache: usize,
+    idle_timeout: u64,
+    max_conns: usize,
     bootstrap: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: autotype-serve PACK_DIR [--addr HOST:PORT] [--workers N] [--cache N] [--bootstrap]"
+        "usage: autotype-serve PACK_DIR [--addr HOST:PORT] [--workers N] [--cache N] \
+         [--idle-timeout SECS] [--max-conns N] [--bootstrap]"
     );
     ExitCode::FAILURE
 }
 
 fn parse_args() -> Result<Args, ExitCode> {
+    let defaults = ServerConfig::default();
     let mut args = Args {
         pack_dir: std::path::PathBuf::new(),
         addr: "127.0.0.1:7450".to_string(),
@@ -46,6 +51,8 @@ fn parse_args() -> Result<Args, ExitCode> {
             .map(|n| n.get())
             .unwrap_or(1),
         cache: 65_536,
+        idle_timeout: defaults.idle_timeout.as_secs(),
+        max_conns: defaults.max_connections,
         bootstrap: false,
     };
     let mut positional = Vec::new();
@@ -57,6 +64,12 @@ fn parse_args() -> Result<Args, ExitCode> {
                 args.workers = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?
             }
             "--cache" => args.cache = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?,
+            "--idle-timeout" => {
+                args.idle_timeout = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?
+            }
+            "--max-conns" => {
+                args.max_conns = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?
+            }
             "--bootstrap" => args.bootstrap = true,
             "--help" | "-h" => return Err(usage()),
             other if !other.starts_with('-') => positional.push(other.to_string()),
@@ -139,6 +152,8 @@ fn main() -> ExitCode {
     }
     let config = ServerConfig {
         addr: args.addr,
+        idle_timeout: std::time::Duration::from_secs(args.idle_timeout.max(1)),
+        max_connections: args.max_conns.max(1),
         ..ServerConfig::default()
     };
     let handle = match serve(Arc::new(runtime), config) {

@@ -90,12 +90,25 @@ pub struct Metrics {
     pub requests_total: AtomicU64,
     pub requests_detect: AtomicU64,
     pub requests_detect_column: AtomicU64,
+    pub requests_detect_table: AtomicU64,
     pub requests_healthz: AtomicU64,
     pub requests_metrics: AtomicU64,
     /// 4xx/5xx responses (bad JSON, over-limit bodies, unknown routes).
     pub http_errors: AtomicU64,
+    /// TCP connections accepted (each may carry many keep-alive requests).
+    pub connections_total: AtomicU64,
+    /// Connections refused with 503 because the handler pool was saturated.
+    pub connections_shed: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
+    /// Matrix cells the lazy tiered scheduler never issued — the probes an
+    /// eager `value × pack` sweep would have run but first-match-wins (or
+    /// the column threshold math) proved dead.
+    pub probes_saved: AtomicU64,
+    /// Uncached probes served by a leased (reset) executor vs. by a fresh
+    /// snapshot clone. Reuses dominating clones is the steady state.
+    pub executors_reused: AtomicU64,
+    pub executors_cloned: AtomicU64,
     /// Total interpreter fuel burned by uncached probes.
     pub fuel_spent: AtomicU64,
     /// Values the service answered (across batch and column requests).
@@ -109,11 +122,17 @@ impl Metrics {
             requests_total: AtomicU64::new(0),
             requests_detect: AtomicU64::new(0),
             requests_detect_column: AtomicU64::new(0),
+            requests_detect_table: AtomicU64::new(0),
             requests_healthz: AtomicU64::new(0),
             requests_metrics: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            connections_shed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            probes_saved: AtomicU64::new(0),
+            executors_reused: AtomicU64::new(0),
+            executors_cloned: AtomicU64::new(0),
             fuel_spent: AtomicU64::new(0),
             values_served: AtomicU64::new(0),
             per_pack: packs
@@ -166,6 +185,11 @@ impl Metrics {
             Self::read(&self.requests_detect_column),
         );
         gauge(
+            "autotype_requests_detect_table_total",
+            "POST /detect/table requests",
+            Self::read(&self.requests_detect_table),
+        );
+        gauge(
             "autotype_requests_healthz_total",
             "GET /healthz requests",
             Self::read(&self.requests_healthz),
@@ -189,6 +213,31 @@ impl Metrics {
             "autotype_cache_misses_total",
             "Verdict cache misses",
             Self::read(&self.cache_misses),
+        );
+        gauge(
+            "autotype_connections_total",
+            "TCP connections accepted",
+            Self::read(&self.connections_total),
+        );
+        gauge(
+            "autotype_connections_shed_total",
+            "Connections refused with 503 under saturation",
+            Self::read(&self.connections_shed),
+        );
+        gauge(
+            "autotype_probes_saved_total",
+            "Probe cells skipped by lazy tiered scheduling vs the eager matrix",
+            Self::read(&self.probes_saved),
+        );
+        gauge(
+            "autotype_executors_reused_total",
+            "Uncached probes served by a leased (reset) executor",
+            Self::read(&self.executors_reused),
+        );
+        gauge(
+            "autotype_executors_cloned_total",
+            "Uncached probes that had to clone a fresh snapshot executor",
+            Self::read(&self.executors_cloned),
         );
         gauge(
             "autotype_fuel_spent_total",

@@ -1,0 +1,384 @@
+//! Keep-alive and load-shedding integration tests: persistent
+//! connections, idle-timeout closes, bounded-pool 503s, the
+//! `/detect/table` endpoint, and per-request `max_fuel` — all over real
+//! sockets against the real server.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use autotype_exec::{EntryPoint, Literal};
+use autotype_lang::{SiteId, ValueSummary};
+use autotype_pack::Pack;
+use autotype_serve::{serve, DetectorRuntime, ServerConfig};
+
+/// A pack accepting exactly the inputs for which the program returns True.
+fn boolean_pack(slug: &str, func: &str, source: &str) -> Pack {
+    Pack {
+        slug: slug.into(),
+        keyword: slug.into(),
+        label: format!("demo/mod.{func}"),
+        repo_name: "demo".into(),
+        file: "mod".into(),
+        strategy: "S1".into(),
+        method: "DNF-S".into(),
+        score: 1.0,
+        neg_fraction: 0.0,
+        explanation: "(ret==True)".into(),
+        fuel: 10_000,
+        installs: 0,
+        candidate_file: 0,
+        entry: EntryPoint::Function { name: func.into() },
+        files: vec![("mod".into(), source.into())],
+        packages: vec![],
+        dnf_e: vec![vec![Literal::Ret {
+            site: SiteId::new(u32::MAX, 0),
+            value: ValueSummary::Bool(true),
+        }]],
+    }
+}
+
+fn test_runtime() -> DetectorRuntime {
+    let even = boolean_pack(
+        "evenlen",
+        "is_even_len",
+        "def is_even_len(s):\n    if len(s) % 2 == 0:\n        return True\n    return False\n",
+    );
+    let short = boolean_pack(
+        "short",
+        "is_short",
+        "def is_short(s):\n    if len(s) < 3:\n        return True\n    return False\n",
+    );
+    DetectorRuntime::from_packs(
+        vec![even.validator().unwrap(), short.validator().unwrap()],
+        2,
+        256,
+    )
+}
+
+/// Write one request on an already-open stream, without closing it. A
+/// single write_all so Nagle never splits head and body across a
+/// delayed-ACK round trip.
+fn send_request(stream: &mut TcpStream, method: &str, path: &str, body: &str) {
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+}
+
+/// Read one framed response (status line, headers, Content-Length body)
+/// off a persistent connection, leaving the stream open for the next one.
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, String, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or_else(|| panic!("no status in {status_line:?}"))
+        .parse()
+        .unwrap();
+    let mut content_length = 0usize;
+    let mut connection = String::new();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap();
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = value.trim().to_ascii_lowercase();
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, String::from_utf8(body).unwrap(), connection)
+}
+
+fn start(
+    config_tweak: impl FnOnce(&mut ServerConfig),
+) -> (autotype_serve::ServerHandle, std::net::SocketAddr) {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    };
+    config_tweak(&mut config);
+    let handle = serve(Arc::new(test_runtime()), config).expect("bind");
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+#[test]
+fn many_requests_share_one_socket() {
+    let (handle, addr) = start(|_| {});
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    for i in 0..16 {
+        // Alternate value shapes so responses differ across iterations.
+        let value = if i % 2 == 0 { "ab" } else { "abc" };
+        send_request(
+            &mut stream,
+            "POST",
+            "/detect",
+            &format!("{{\"value\":\"{value}\"}}"),
+        );
+        let (status, body, connection) = read_response(&mut reader);
+        assert_eq!(status, 200, "request {i}");
+        assert_eq!(connection, "keep-alive", "request {i}");
+        if i % 2 == 0 {
+            assert!(body.contains("\"type\":\"evenlen\""), "request {i}: {body}");
+        } else {
+            assert!(body.contains("\"type\":null"), "request {i}: {body}");
+        }
+    }
+
+    // The server saw one connection carry all 16 requests.
+    send_request(&mut stream, "GET", "/metrics", "");
+    let (_, metrics, _) = read_response(&mut reader);
+    let counter = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(name) && l.split_whitespace().count() == 2)
+            .unwrap_or_else(|| panic!("{name} missing:\n{metrics}"))
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(counter("autotype_connections_total"), 1);
+    // The /metrics request renders before counting itself: 16 detects.
+    assert_eq!(counter("autotype_requests_total"), 16);
+
+    // Ask the server to close; it must honor Connection: close.
+    let head = "GET /healthz HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Length: 0\r\n\r\n";
+    stream.write_all(head.as_bytes()).unwrap();
+    let (status, _, connection) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "close");
+    let mut rest = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    assert_eq!(
+        stream.read_to_string(&mut rest).expect("EOF after close"),
+        0,
+        "server must close after Connection: close"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_are_closed_silently() {
+    let (handle, addr) = start(|c| c.idle_timeout = Duration::from_millis(150));
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    send_request(&mut stream, "GET", "/healthz", "");
+    let (status, _, connection) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "keep-alive");
+
+    // Go quiet past the idle timeout: the server closes without writing a
+    // response (an idle close is not an error).
+    stream
+        .set_read_timeout(Some(Duration::from_secs(3)))
+        .unwrap();
+    let mut rest = Vec::new();
+    let n = stream
+        .read_to_end(&mut rest)
+        .expect("clean EOF, not timeout");
+    assert_eq!(n, 0, "idle close must be silent, got {rest:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn http10_defaults_to_close_and_can_opt_in() {
+    let (handle, addr) = start(|_| {});
+    // Plain HTTP/1.0: server must close after one response.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.0\r\nHost: localhost\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(3)))
+        .unwrap();
+    stream.read_to_string(&mut raw).expect("EOF for HTTP/1.0");
+    assert!(raw.contains("Connection: close"), "{raw}");
+
+    // HTTP/1.0 with an explicit keep-alive opt-in stays open.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.0\r\nHost: localhost\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n",
+        )
+        .unwrap();
+    let (status, _, connection) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "keep-alive");
+    // Still answers on the same socket.
+    send_request(&mut stream, "GET", "/healthz", "");
+    let (status, _, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    // Close the client side so the handler sees EOF and retires promptly.
+    drop(reader);
+    drop(stream);
+    handle.shutdown();
+}
+
+#[test]
+fn saturated_pool_sheds_with_503() {
+    // One handler, rendezvous queue: a second concurrent connection has
+    // nowhere to go and must be shed inline.
+    let (handle, addr) = start(|c| {
+        c.max_connections = 1;
+        c.accept_backlog = 0;
+    });
+
+    // Occupy the only handler with an open keep-alive connection.
+    let mut busy = TcpStream::connect(addr).unwrap();
+    let mut busy_reader = BufReader::new(busy.try_clone().unwrap());
+    send_request(&mut busy, "GET", "/healthz", "");
+    let (status, _, connection) = read_response(&mut busy_reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "keep-alive");
+
+    // The next connection is refused with 503 without being queued.
+    let mut shed = TcpStream::connect(addr).unwrap();
+    let mut raw = String::new();
+    shed.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+    shed.read_to_string(&mut raw).expect("read 503");
+    assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+    assert!(raw.contains("saturated"), "{raw}");
+
+    // Release the handler; the pool accepts again.
+    drop(busy_reader);
+    drop(busy);
+    std::thread::sleep(Duration::from_millis(50));
+    let mut next = TcpStream::connect(addr).unwrap();
+    let mut next_reader = BufReader::new(next.try_clone().unwrap());
+    send_request(&mut next, "GET", "/healthz", "");
+    let (status, _, _) = read_response(&mut next_reader);
+    assert_eq!(status, 200);
+
+    // The shed shows up in metrics.
+    send_request(&mut next, "GET", "/metrics", "");
+    let (_, metrics, _) = read_response(&mut next_reader);
+    assert!(
+        metrics.contains("autotype_connections_shed_total 1"),
+        "{metrics}"
+    );
+    drop(next_reader);
+    drop(next);
+    handle.shutdown();
+}
+
+#[test]
+fn detect_table_answers_every_column() {
+    let (handle, addr) = start(|_| {});
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // Column 0: all even → evenlen. Column 1: short odd → short.
+    // Column 2: junk → null. Column 3: empty → null.
+    let body = r#"{"columns":[["ab","cd","ef"],["a","b","c"],["abc","defgh"],[]]}"#;
+    send_request(&mut stream, "POST", "/detect/table", body);
+    let (status, body, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    let expected_types = ["\"type\":\"evenlen\"", "\"type\":\"short\""];
+    for t in expected_types {
+        assert!(body.contains(t), "{body}");
+    }
+    // The two unresolved columns render as nulls, in order.
+    let nulls = body.matches("\"type\":null").count();
+    assert_eq!(nulls, 2, "{body}");
+    assert!(body.contains("\"values\":3"), "{body}");
+    assert!(body.contains("\"values\":0"), "{body}");
+
+    // Malformed shapes are rejected.
+    send_request(&mut stream, "POST", "/detect/table", r#"{"columns":"x"}"#);
+    let (status, _, _) = read_response(&mut reader);
+    assert_eq!(status, 400);
+    drop(reader);
+    drop(stream);
+    handle.shutdown();
+}
+
+#[test]
+fn max_fuel_is_validated_and_applied() {
+    let (handle, addr) = start(|_| {});
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // Non-positive ceilings are rejected up front.
+    for bad in [
+        r#"{"value":"ab","max_fuel":0}"#,
+        r#"{"value":"ab","max_fuel":-5}"#,
+    ] {
+        send_request(&mut stream, "POST", "/detect", bad);
+        let (status, body, connection) = read_response(&mut reader);
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("max_fuel"), "{body}");
+        // Errors close the connection; reconnect for the next round.
+        assert_eq!(connection, "close");
+        stream = TcpStream::connect(addr).unwrap();
+        reader = BufReader::new(stream.try_clone().unwrap());
+    }
+
+    // A generous ceiling clamps to the pack budget: verdicts unchanged.
+    send_request(
+        &mut stream,
+        "POST",
+        "/detect",
+        r#"{"value":"ab","max_fuel":99999999}"#,
+    );
+    let (status, body, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"type\":\"evenlen\""), "{body}");
+
+    // A starving ceiling flips the verdict to null (probe exhausts early)
+    // without poisoning the cache for full-budget requests.
+    send_request(
+        &mut stream,
+        "POST",
+        "/detect",
+        r#"{"value":"ab","max_fuel":1}"#,
+    );
+    let (status, body, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"type\":null"), "{body}");
+    send_request(&mut stream, "POST", "/detect", r#"{"value":"ab"}"#);
+    let (status, body, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"type\":\"evenlen\""), "{body}");
+
+    // Columns and tables take the same ceiling.
+    send_request(
+        &mut stream,
+        "POST",
+        "/detect/column",
+        r#"{"values":["ab","cd"],"max_fuel":1}"#,
+    );
+    let (status, body, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"type\":null"), "{body}");
+    send_request(
+        &mut stream,
+        "POST",
+        "/detect/table",
+        r#"{"columns":[["ab","cd"]],"max_fuel":0}"#,
+    );
+    let (status, body, _) = read_response(&mut reader);
+    assert_eq!(status, 400, "{body}");
+    drop(reader);
+    drop(stream);
+    handle.shutdown();
+}

@@ -46,11 +46,13 @@ fn test_runtime() -> DetectorRuntime {
     DetectorRuntime::from_packs(vec![even.validator().unwrap()], 2, 256)
 }
 
-/// One full request/response over a real socket, `Connection: close`.
+/// One full request/response over a real socket. Sends `Connection: close`
+/// so the server ends the connection after responding (this helper reads
+/// to EOF; keep-alive coverage lives in tests/keepalive.rs).
 fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).unwrap();

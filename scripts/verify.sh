@@ -19,6 +19,9 @@ cargo test -q
 echo "== cargo test --workspace -q =="
 cargo test --workspace -q
 
+echo "== serve integration tests (keep-alive, lazy==eager, golden packs) =="
+cargo test -p autotype-serve --test keepalive --test lazy_eager --test golden --test loopback -q
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
